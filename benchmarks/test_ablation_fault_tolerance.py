@@ -1,0 +1,73 @@
+"""Ablation: what the fault-tolerant memoization layer buys (§6).
+
+The paper motivates replicating memoized state: losing a machine's
+in-memory cache would otherwise "trigger otherwise unnecessary
+recomputations".  This ablation quantifies that: a randomized contraction
+tree (content-memoized through the distributed cache) re-runs an identical
+window after a full cluster memory wipe, with and without persistent
+replicas.  With replicas the rerun is nearly free (fallback reads only);
+without them it pays the full reconstruction.
+"""
+
+from __future__ import annotations
+
+from repro.bench.format import format_table
+from repro.cluster.cache import CacheConfig, DistributedMemoCache
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.core.memo import MemoTable
+from repro.core.partition import Partition
+from repro.core.randomized import RandomizedFoldingTree
+from repro.mapreduce.combiners import SumCombiner
+
+WINDOW = 128
+
+
+def leaves(count):
+    return [Partition({"total": v, ("u", v): 1}) for v in range(count)]
+
+
+def rerun_cost_after_wipe(replicas: int) -> tuple[float, int]:
+    """(work of the post-wipe rerun, fallback reads served)."""
+    cluster = Cluster(ClusterConfig(num_machines=8, straggler_fraction=0.0))
+    cache = DistributedMemoCache(cluster, CacheConfig(replicas=replicas))
+    tree = RandomizedFoldingTree(
+        SumCombiner(), memo=MemoTable(backing=cache), auto_gc=False, seed=3
+    )
+    tree.initial_run(leaves(WINDOW))
+
+    # Cluster-wide restart: every machine loses its in-memory state, and
+    # the workers' local memo tables die with their processes.
+    for machine in cluster.machines:
+        cache.on_machine_failure(machine.machine_id)
+    tree.memo.entries.clear()
+
+    before = tree.meter.total()
+    root = tree.advance([], 0)
+    assert root.get("total") == sum(range(WINDOW))
+    return tree.meter.total() - before, cache.stats.fallback_reads
+
+
+def test_ablation_fault_tolerance(benchmark):
+    with_replicas, fallback_with = rerun_cost_after_wipe(replicas=2)
+    without_replicas, fallback_without = rerun_cost_after_wipe(replicas=0)
+
+    print()
+    print(
+        format_table(
+            "Ablation — rerun cost after a full cluster memory wipe",
+            ["configuration", "rerun work", "replica (fallback) reads"],
+            [
+                ["2 persistent replicas", with_replicas, fallback_with],
+                ["no replication", without_replicas, fallback_without],
+            ],
+        )
+    )
+
+    # Replicas turn a full recomputation into cheap fallback reads.
+    assert fallback_with > 0
+    assert fallback_without == 0
+    assert with_replicas < without_replicas / 5
+
+    benchmark.pedantic(
+        lambda: rerun_cost_after_wipe(replicas=2), rounds=1, iterations=1
+    )

@@ -1,0 +1,70 @@
+"""Figure 7: Slider's work & time speedup over recomputing from scratch.
+
+Six panels in the paper: work and time speedups for the three window modes
+(append-only, fixed-width, variable-width) across the five applications,
+for 5..25 % incremental input change.  Expected shape: large speedups at
+small deltas, shrinking as the overlap between windows shrinks; the
+compute-intensive apps (K-Means, KNN) gain most in work terms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CHANGE_PERCENTS, MODE_LABELS, MODES, WINDOW_SPLITS
+from repro.bench.format import format_series
+from repro.bench.harness import SlideSchedule, make_cluster, run_change_sweep, run_experiment
+from repro.slider.window import WindowMode
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_fig07_speedups(mode, apps, benchmark):
+    work_series: dict[str, list[float]] = {}
+    time_series: dict[str, list[float]] = {}
+    for spec in apps:
+        sweep = run_change_sweep(
+            spec,
+            mode,
+            baseline_variant="vanilla",
+            change_percents=CHANGE_PERCENTS,
+            window_splits=WINDOW_SPLITS,
+        )
+        work_series[spec.name] = sweep.work_speedups
+        time_series[spec.name] = sweep.time_speedups
+
+    print()
+    print(
+        format_series(
+            f"Figure 7 (work) — {MODE_LABELS[mode]}: speedup vs recompute",
+            "change%",
+            CHANGE_PERCENTS,
+            work_series,
+        )
+    )
+    print(
+        format_series(
+            f"Figure 7 (time) — {MODE_LABELS[mode]}: speedup vs recompute",
+            "change%",
+            CHANGE_PERCENTS,
+            time_series,
+        )
+    )
+
+    for app, speedups in work_series.items():
+        # Slider always wins, and wins more at smaller deltas.
+        assert speedups[0] > speedups[-1] > 1.0, app
+    for app, speedups in time_series.items():
+        assert all(s > 1.0 for s in speedups), app
+    # Compute-intensive apps gain the most in work terms at 5 % change.
+    assert work_series["kmeans"][0] > work_series["hct"][0] * 0.8
+
+    # Time one representative incremental run (kmeans at 5 % change).
+    spec = next(s for s in apps if s.name == "kmeans")
+    schedule = SlideSchedule.for_change(mode, WINDOW_SPLITS, 5)
+
+    def incremental_run():
+        return run_experiment(
+            spec, mode, schedule, variant="slider", cluster=make_cluster()
+        ).mean_incremental_work()
+
+    benchmark.pedantic(incremental_run, rounds=1, iterations=1)

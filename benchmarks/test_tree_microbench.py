@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the raw contraction-tree operations.
+
+Not a paper figure — a performance-regression harness for the data
+structures themselves: initial construction and single-slide updates for
+every tree variant, on a 256-leaf window of aggregating partitions.  These
+run multiple rounds (they are microseconds-fast), so pytest-benchmark's
+statistics are meaningful here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coalescing import CoalescingTree
+from repro.core.folding import FoldingTree
+from repro.core.partition import Partition
+from repro.core.randomized import RandomizedFoldingTree
+from repro.core.rotating import RotatingTree
+from repro.core.strawman import StrawmanTree
+from repro.mapreduce.combiners import SumCombiner
+
+WINDOW = 256
+
+TREES = {
+    "folding": lambda: FoldingTree(SumCombiner()),
+    "randomized": lambda: RandomizedFoldingTree(SumCombiner(), seed=1),
+    "rotating": lambda: RotatingTree(SumCombiner(), bucket_size=1),
+    "coalescing": lambda: CoalescingTree(SumCombiner()),
+    "strawman": lambda: StrawmanTree(SumCombiner()),
+}
+
+
+def leaves(count, tag=0):
+    return [Partition({"total": v, ("u", tag, v): 1}) for v in range(count)]
+
+
+@pytest.mark.parametrize("name", list(TREES), ids=list(TREES))
+def test_initial_run_speed(name, benchmark):
+    window = leaves(WINDOW)
+
+    def build():
+        return TREES[name]().initial_run(window)
+
+    root = benchmark(build)
+    assert root.get("total") == sum(range(WINDOW))
+
+
+@pytest.mark.parametrize("name", list(TREES), ids=list(TREES))
+def test_slide_speed(name, benchmark):
+    removed = 0 if name == "coalescing" else 1
+    counter = [WINDOW]
+
+    def setup():
+        tree = TREES[name]()
+        tree.initial_run(leaves(WINDOW))
+        counter[0] += 1
+        new_leaf = Partition({"total": counter[0], ("new", counter[0]): 1})
+        return (tree, [new_leaf]), {}
+
+    def slide(tree, added):
+        return tree.advance(added, removed)
+
+    benchmark.pedantic(slide, setup=setup, rounds=30)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Case study §8.2: Glasnost measurement-server monitoring.
+
+Computes, for each measurement server, the median over user hosts of the
+minimum RTT of their test runs — over the most recent three months of
+traces, sliding monthly.  The monthly trace volumes reproduce the paper's
+Table 3 exactly (they are solved from its window totals).
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro import Slider, VanillaRunner, WindowMode
+from repro.apps.glasnost import glasnost_job, make_glasnost_splits
+from repro.datagen.glasnost import (
+    TABLE3_MONTH_NAMES,
+    TABLE3_MONTHLY_RUNS,
+    GlasnostTraceGenerator,
+)
+
+
+def main() -> None:
+    print("generating 11 months of measurement traces "
+          f"({sum(TABLE3_MONTHLY_RUNS)} test runs)...")
+    generator = GlasnostTraceGenerator(seed=2024, num_servers=3)
+    month_splits = [
+        make_glasnost_splits(generator.month_of_runs(m, count), runs_per_split=50)
+        for m, count in enumerate(TABLE3_MONTHLY_RUNS)
+    ]
+
+    job = glasnost_job()
+    slider = Slider(job, WindowMode.VARIABLE)
+    vanilla = VanillaRunner(job, WindowMode.VARIABLE)
+
+    window = month_splits[0] + month_splits[1] + month_splits[2]
+    result = slider.initial_run(window)
+    vanilla.initial_run(window)
+    medians = ", ".join(
+        f"server{s}={rtt:.1f}ms" for s, rtt in sorted(result.outputs.items())
+    )
+    print(f"\nJan-Mar: {medians}")
+
+    print("\nwindow    runs   change%  time-speedup  work-speedup  medians")
+    for step in range(1, 9):
+        removed = len(month_splits[step - 1])
+        added = month_splits[step + 2]
+        s = slider.advance(added, removed)
+        v = vanilla.advance(added, removed)
+        assert s.outputs == v.outputs
+        speedup = s.report.speedup_over(v.report)
+        runs = sum(TABLE3_MONTHLY_RUNS[step : step + 3])
+        change = 100.0 * TABLE3_MONTHLY_RUNS[step + 2] / runs
+        label = f"{TABLE3_MONTH_NAMES[step]}-{TABLE3_MONTH_NAMES[step + 2]}"
+        medians = " ".join(
+            f"{rtt:.1f}" for _s, rtt in sorted(s.outputs.items())
+        )
+        print(f"{label:<9} {runs:>5}  {change:6.1f}%  {speedup.time:11.2f}x "
+              f"{speedup.work:12.2f}x  [{medians}] ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""The paper's applications, written as ordinary (non-incremental) jobs.
+
+Micro-benchmarks (§7.1): HCT (histogram), Matrix (co-occurrence), subStr
+(frequent substrings) over text; K-Means and KNN over 50-d unit-cube points.
+Case studies (§8): the Twitter information-propagation tree, Glasnost
+server-distance monitoring, and NetSession log auditing.
+
+None of these jobs contains any incremental logic — Slider incrementalizes
+them transparently, which is the paper's central claim.
+"""
+
+from repro.apps.histogram import histogram_job, make_text_splits
+from repro.apps.kmeans import kmeans_job, make_point_splits
+from repro.apps.knn import knn_job
+from repro.apps.matrix import matrix_job
+from repro.apps.substr import substr_job
+from repro.apps.glasnost import glasnost_job, make_glasnost_splits
+from repro.apps.netsession import netsession_audit_job, make_log_splits
+from repro.apps.twitter import propagation_tree_job, make_tweet_splits
+from repro.apps.registry import APP_REGISTRY, AppSpec, micro_benchmark_apps
+
+__all__ = [
+    "histogram_job",
+    "make_text_splits",
+    "kmeans_job",
+    "make_point_splits",
+    "knn_job",
+    "matrix_job",
+    "substr_job",
+    "glasnost_job",
+    "make_glasnost_splits",
+    "netsession_audit_job",
+    "make_log_splits",
+    "propagation_tree_job",
+    "make_tweet_splits",
+    "APP_REGISTRY",
+    "AppSpec",
+    "micro_benchmark_apps",
+]

@@ -1,0 +1,38 @@
+"""HCT: the histogram-based computation micro-benchmark.
+
+Buckets every word of the corpus by length class and counts occurrences —
+a classic data-intensive aggregation with a small key space and heavy
+shuffle volume relative to compute.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import CostModel, MapReduceJob
+from repro.mapreduce.types import Split, make_splits
+
+
+def _map_histogram(line: str):
+    for word in line.split():
+        yield (f"len:{min(len(word), 20)}", 1)
+        yield (f"first:{word[0]}", 1)
+
+
+def histogram_job(num_reducers: int = 4) -> MapReduceJob:
+    """Word-shape histogram over text lines."""
+    return MapReduceJob(
+        name="hct",
+        map_fn=_map_histogram,
+        combiner=SumCombiner(),
+        num_reducers=num_reducers,
+        costs=CostModel(
+            map_cost_per_record=1.0,
+            combine_cost_factor=1.0,
+            reduce_cost_per_key=1.0,
+        ),
+    )
+
+
+def make_text_splits(lines: list[str], lines_per_split: int = 10) -> list[Split]:
+    """Chop corpus lines into splits, as HDFS would chop the input file."""
+    return make_splits(lines, split_size=lines_per_split, label_prefix="text")

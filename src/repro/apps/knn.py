@@ -1,0 +1,51 @@
+"""KNN: k-nearest-neighbours over a set of fixed query points.
+
+Map computes, for every input point, its distance to each query point and
+emits a single-candidate set; the combiner keeps the k smallest candidates
+per query.  Compute-intensive like K-Means: per-record work scales with the
+number of queries and the dimensionality.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mapreduce.combiners import KSmallestCombiner
+from repro.mapreduce.job import CostModel, MapReduceJob
+
+Point = tuple[float, ...]
+
+
+def knn_job(
+    queries: list[Point],
+    k: int = 5,
+    num_reducers: int = 4,
+    dimensions: int = 50,
+) -> MapReduceJob:
+    """Find the ``k`` nearest window points to each query point."""
+    if not queries:
+        raise ValueError("knn needs at least one query point")
+    queries = [tuple(q) for q in queries]
+
+    def map_distances(point: Point):
+        for query_index, query in enumerate(queries):
+            distance = math.sqrt(
+                sum((a - b) ** 2 for a, b in zip(point, query))
+            )
+            yield (query_index, ((round(distance, 9), tuple(point)),))
+
+    def reduce_neighbours(query_index: int, candidates: tuple):
+        return tuple(point for _distance, point in candidates)
+
+    return MapReduceJob(
+        name="knn",
+        map_fn=map_distances,
+        combiner=KSmallestCombiner(k=k),
+        reduce_fn=reduce_neighbours,
+        num_reducers=num_reducers,
+        costs=CostModel(
+            map_cost_per_record=float(len(queries) * dimensions) / 10.0,
+            combine_cost_factor=0.5,
+            reduce_cost_per_key=2.0,
+        ),
+    )

@@ -1,0 +1,38 @@
+"""Matrix: the word co-occurrence matrix micro-benchmark.
+
+Emits a count for every ordered pair of words co-occurring within a sliding
+intra-line context window.  Its key space is quadratic in the vocabulary, so
+it is the most shuffle- and memo-heavy of the micro-benchmarks (the paper's
+highest space overhead, Figure 13c).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import CostModel, MapReduceJob
+
+#: Words on each side considered part of a word's context.
+CONTEXT = 2
+
+
+def _map_cooccurrence(line: str):
+    words = line.split()
+    for i, word in enumerate(words):
+        for j in range(max(0, i - CONTEXT), min(len(words), i + CONTEXT + 1)):
+            if i != j:
+                yield ((word, words[j]), 1)
+
+
+def matrix_job(num_reducers: int = 4) -> MapReduceJob:
+    """Co-occurrence matrix over text lines."""
+    return MapReduceJob(
+        name="matrix",
+        map_fn=_map_cooccurrence,
+        combiner=SumCombiner(),
+        num_reducers=num_reducers,
+        costs=CostModel(
+            map_cost_per_record=2.0,
+            combine_cost_factor=1.0,
+            reduce_cost_per_key=1.0,
+        ),
+    )

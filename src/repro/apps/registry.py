@@ -1,0 +1,112 @@
+"""A uniform registry of the five micro-benchmark applications.
+
+Benchmarks sweep "all five apps x all three window modes x five deltas";
+an :class:`AppSpec` packages, per app, how to build the job and how to
+generate a window's worth of input splits, so the harness stays generic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.apps.histogram import histogram_job
+from repro.apps.kmeans import kmeans_job
+from repro.apps.knn import knn_job
+from repro.apps.matrix import matrix_job
+from repro.apps.substr import substr_job
+from repro.datagen.points import PointGenerator
+from repro.datagen.text import TextCorpusGenerator
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import Split, make_splits
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One benchmark application: job factory + split generator.
+
+    ``make_splits(count, seed)`` must return ``count`` input splits whose
+    contents are deterministic in ``seed`` and disjoint across calls with
+    increasing ``offset`` (so appended data is genuinely new).
+    """
+
+    name: str
+    compute_intensive: bool
+    make_job: Callable[[], MapReduceJob]
+    make_splits: Callable[[int, int, int], list[Split]]
+
+
+def _text_split_maker(label: str, lines_per_split: int = 8):
+    def make(count: int, seed: int, offset: int = 0) -> list[Split]:
+        generator = TextCorpusGenerator(seed=seed, vocabulary_size=2000)
+        # Burn the offset region so appended splits carry fresh lines.
+        if offset:
+            generator.lines(offset * lines_per_split)
+        lines = generator.lines(count * lines_per_split)
+        return make_splits(
+            lines, split_size=lines_per_split, label_prefix=f"{label}{offset}-"
+        )
+
+    return make
+
+
+def _point_split_maker(points_per_split: int = 20):
+    def make(count: int, seed: int, offset: int = 0) -> list[Split]:
+        generator = PointGenerator(seed=seed, dimensions=50, clusters=8)
+        if offset:
+            generator.points(offset * points_per_split)
+        points = generator.points(count * points_per_split)
+        return make_splits(
+            points, split_size=points_per_split, label_prefix=f"pts{offset}-"
+        )
+
+    return make
+
+
+def _kmeans_factory() -> MapReduceJob:
+    centers = PointGenerator(seed=99, dimensions=50, clusters=8).centers
+    return kmeans_job(centroids=centers, num_reducers=4)
+
+
+def _knn_factory() -> MapReduceJob:
+    queries = PointGenerator(seed=101, dimensions=50).points(8)
+    return knn_job(queries=queries, k=5, num_reducers=4)
+
+
+APP_REGISTRY: dict[str, AppSpec] = {
+    "hct": AppSpec(
+        name="hct",
+        compute_intensive=False,
+        make_job=histogram_job,
+        make_splits=_text_split_maker("hct"),
+    ),
+    "matrix": AppSpec(
+        name="matrix",
+        compute_intensive=False,
+        make_job=matrix_job,
+        make_splits=_text_split_maker("mat"),
+    ),
+    "substr": AppSpec(
+        name="substr",
+        compute_intensive=False,
+        make_job=substr_job,
+        make_splits=_text_split_maker("sub"),
+    ),
+    "kmeans": AppSpec(
+        name="kmeans",
+        compute_intensive=True,
+        make_job=_kmeans_factory,
+        make_splits=_point_split_maker(),
+    ),
+    "knn": AppSpec(
+        name="knn",
+        compute_intensive=True,
+        make_job=_knn_factory,
+        make_splits=_point_split_maker(),
+    ),
+}
+
+
+def micro_benchmark_apps() -> list[AppSpec]:
+    """The five micro-benchmarks in the paper's reporting order."""
+    return [APP_REGISTRY[name] for name in ("kmeans", "hct", "knn", "matrix", "substr")]

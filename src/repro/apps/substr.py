@@ -1,0 +1,38 @@
+"""subStr: the frequent-substring extraction micro-benchmark.
+
+Counts fixed-length character n-grams of every word and reports, per
+n-gram-prefix group, the most frequent substrings — a string-heavy,
+data-intensive workload.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import CostModel, MapReduceJob
+
+NGRAM = 3
+
+
+def _map_substrings(line: str):
+    for word in line.split():
+        for start in range(0, max(1, len(word) - NGRAM + 1)):
+            gram = word[start : start + NGRAM]
+            if gram:
+                yield (gram, 1)
+
+
+def substr_job(num_reducers: int = 4) -> MapReduceJob:
+    """Frequent character n-grams over text lines."""
+    return MapReduceJob(
+        name="substr",
+        map_fn=_map_substrings,
+        combiner=SumCombiner(),
+        # Reduce keeps only frequent substrings; modeled as a filter.
+        reduce_fn=lambda gram, count: count,
+        num_reducers=num_reducers,
+        costs=CostModel(
+            map_cost_per_record=1.5,
+            combine_cost_factor=1.0,
+            reduce_cost_per_key=1.0,
+        ),
+    )

@@ -1,0 +1,111 @@
+"""Twitter information-propagation trees (case study §8.1, append-only).
+
+For every URL, builds a propagation tree following Krackhardt's hierarchical
+model: a directed edge from each spreader of the URL to each receiver who
+reposted it after "following" the spreader.  The per-URL combined value is
+the edge set plus spreader statistics, which is associative under union —
+so Slider incrementalizes it with a coalescing tree as new tweet intervals
+are appended.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.twitter import Tweet
+from repro.mapreduce.combiners import Combiner
+from repro.mapreduce.job import CostModel, MapReduceJob
+from repro.mapreduce.types import Split, make_splits
+
+# Tweet records flow as tuples: (user, url, timestamp, source_user).
+TweetRecord = tuple
+
+
+class PropagationCombiner(Combiner[tuple]):
+    """Merges per-URL propagation fragments.
+
+    A fragment is ``(edges, posts)``: a frozenset of (spreader, receiver)
+    edges and the number of posts of the URL.  Union/sum is associative and
+    commutative.
+    """
+
+    def merge(self, key, values):
+        edges: set = set()
+        posts = 0
+        for fragment_edges, fragment_posts in values:
+            edges.update(fragment_edges)
+            posts += fragment_posts
+        return (frozenset(edges), posts)
+
+    def value_size(self, value) -> float:
+        return max(1.0, float(len(value[0])))
+
+    def fingerprint(self, value):
+        return (tuple(sorted(value[0])), value[1])
+
+
+def _map_tweet(record: TweetRecord):
+    user, url, _timestamp, source_user = record
+    if source_user >= 0:
+        edges = frozenset({(source_user, user)})
+    else:
+        edges = frozenset()
+    yield (url, (edges, 1))
+
+
+def _reduce_tree(url: int, value: tuple) -> dict:
+    """Summarize one URL's propagation tree."""
+    edges, posts = value
+    spreaders = {spreader for spreader, _ in edges}
+    receivers = {receiver for _, receiver in edges}
+    roots = spreaders - receivers
+    depth = _tree_depth(edges, roots)
+    return {
+        "posts": posts,
+        "edges": len(edges),
+        "spreaders": len(spreaders | receivers),
+        "roots": len(roots),
+        "depth": depth,
+    }
+
+
+def _tree_depth(edges: frozenset, roots: set) -> int:
+    if not edges:
+        return 0
+    children: dict[int, list[int]] = {}
+    for spreader, receiver in edges:
+        children.setdefault(spreader, []).append(receiver)
+    depth = 0
+    frontier = list(roots)
+    seen = set(frontier)
+    while frontier and depth < 64:
+        next_frontier = []
+        for node in frontier:
+            for child in children.get(node, []):
+                if child not in seen:
+                    seen.add(child)
+                    next_frontier.append(child)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+        depth += 1
+    return depth
+
+
+def propagation_tree_job(num_reducers: int = 4) -> MapReduceJob:
+    """Per-URL information-propagation tree construction."""
+    return MapReduceJob(
+        name="twitter-propagation",
+        map_fn=_map_tweet,
+        combiner=PropagationCombiner(),
+        reduce_fn=_reduce_tree,
+        num_reducers=num_reducers,
+        costs=CostModel(
+            map_cost_per_record=1.0,
+            combine_cost_factor=1.0,
+            reduce_cost_per_key=1.5,
+        ),
+    )
+
+
+def make_tweet_splits(tweets: list[Tweet], tweets_per_split: int = 100) -> list[Split]:
+    records = [t.as_record() for t in tweets]
+    return make_splits(records, split_size=tweets_per_split, label_prefix="tweets")

@@ -1,0 +1,26 @@
+"""The benchmark harness.
+
+Drives Slider, the strawman, and the recompute-from-scratch baseline
+through identical window schedules and reduces the results to the numbers
+the paper reports: work/time speedups per (application, mode, change%),
+phase breakdowns, split-processing latency splits, and case-study tables.
+"""
+
+from repro.bench.harness import (
+    ChangeSweepResult,
+    SlideSchedule,
+    WindowExperiment,
+    run_change_sweep,
+    run_experiment,
+)
+from repro.bench.format import format_series, format_table
+
+__all__ = [
+    "ChangeSweepResult",
+    "SlideSchedule",
+    "WindowExperiment",
+    "run_change_sweep",
+    "run_experiment",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,44 @@
+"""Plain-text table/series rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output readable and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+) -> str:
+    """Render a figure's data as one row per series (x columns)."""
+    headers = [x_label] + [_cell(x) for x in x_values]
+    rows = [[name] + list(values) for name, values in series.items()]
+    return format_table(title, headers, rows)

@@ -1,0 +1,51 @@
+"""Simulated cluster substrate (§6).
+
+The paper runs on a 25-machine Hadoop cluster; this package replaces it with
+a deterministic discrete-event simulation that models the pieces Slider's
+architecture adds or depends on:
+
+* machines with task slots and heterogeneous speeds (stragglers);
+* schedulers — the vanilla Hadoop scheduler, a strict memoization-aware
+  scheduler, and Slider's hybrid scheduler with straggler migration;
+* the in-memory distributed memoization cache with its master index,
+  fault-tolerant replicated persistence, and shim I/O layer;
+* a garbage collector bounding memoization storage;
+* fault injection (machine crashes) to exercise the fault-tolerance path.
+"""
+
+from repro.cluster.cache import (
+    CacheConfig,
+    DistributedMemoCache,
+    GarbageCollector,
+    ReadStats,
+)
+from repro.cluster.machine import Cluster, ClusterConfig, Machine
+from repro.cluster.scheduler import (
+    HadoopScheduler,
+    HybridScheduler,
+    MemoizationScheduler,
+    Scheduler,
+    SimTask,
+    simulate_wave,
+    simulate_two_waves,
+)
+from repro.cluster.simulation import EventQueue, SimClock
+
+__all__ = [
+    "CacheConfig",
+    "DistributedMemoCache",
+    "GarbageCollector",
+    "ReadStats",
+    "Cluster",
+    "ClusterConfig",
+    "Machine",
+    "HadoopScheduler",
+    "HybridScheduler",
+    "MemoizationScheduler",
+    "Scheduler",
+    "SimTask",
+    "simulate_wave",
+    "simulate_two_waves",
+    "EventQueue",
+    "SimClock",
+]

@@ -1,0 +1,229 @@
+"""The distributed memoization layer (§6).
+
+Three cooperating pieces, mirroring Figure 6:
+
+* an **in-memory distributed cache**: each worker holds memoized partitions
+  in RAM; a master index maps content ids to owner machines;
+* a **fault-tolerant memoization layer**: every stored object is also
+  replicated to the persistent stores of two machines, so a crash costs a
+  slower read instead of a recomputation;
+* a **shim I/O layer**: reads go to memory when possible and transparently
+  fall back to a persistent replica, accumulating the read-time statistics
+  that Table 2 reports;
+* a **garbage collector** at the master that drops objects that fell out of
+  the current window (or enforces a user-defined budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Cluster
+from repro.common.errors import CacheMissError
+from repro.common.hashing import stable_hash
+from repro.core.memo import MemoBacking
+from repro.core.partition import Partition
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cost knobs for the shim I/O layer (abstract seconds per object size).
+
+    ``lookup_overhead`` is the fixed per-read cost of consulting the master
+    index, paid regardless of which layer serves the object — it is why
+    small-object reads benefit less from in-memory caching than large-object
+    reads (Table 2's per-application spread).
+    """
+
+    memory_read_cost: float = 0.0015
+    disk_read_cost: float = 0.003
+    network_read_cost: float = 0.002
+    lookup_overhead: float = 0.005
+    replicas: int = 2
+    in_memory_enabled: bool = True
+
+
+@dataclass
+class ReadStats:
+    """Where reads were served from, and the simulated time they took."""
+
+    memory_reads: int = 0
+    fallback_reads: int = 0
+    misses: int = 0
+    read_time: float = 0.0
+
+    def total_reads(self) -> int:
+        return self.memory_reads + self.fallback_reads
+
+
+class DistributedMemoCache(MemoBacking):
+    """Cluster-wide memoization store with master index and replicas.
+
+    Implements :class:`~repro.core.memo.MemoBacking`, so a tree's
+    MemoTable can be backed by it transparently: local tree misses fall
+    through to this layer, and stores write through to it.
+    """
+
+    def __init__(self, cluster: Cluster, config: CacheConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or CacheConfig()
+        #: Per-machine in-memory stores: machine_id -> {uid: partition}.
+        self._memory: dict[int, dict[int, Partition]] = {
+            m.machine_id: {} for m in cluster.machines
+        }
+        #: Per-machine persistent stores (survive crashes).
+        self._disk: dict[int, dict[int, Partition]] = {
+            m.machine_id: {} for m in cluster.machines
+        }
+        #: Master index: uid -> owner machine id.
+        self._index: dict[int, int] = {}
+        self.stats = ReadStats()
+
+    # -- placement ---------------------------------------------------------
+
+    def owner_of(self, uid: int) -> int | None:
+        """The machine currently owning ``uid`` in memory (if any)."""
+        return self._index.get(uid)
+
+    def _place(self, uid: int) -> int:
+        alive = self.cluster.alive_machines()
+        return alive[stable_hash(uid, salt="place") % len(alive)].machine_id
+
+    def _replica_machines(self, uid: int, owner: int) -> list[int]:
+        machines = [m.machine_id for m in self.cluster.machines]
+        replicas: list[int] = []
+        cursor = stable_hash(uid, salt="replica") % len(machines)
+        while len(replicas) < min(self.config.replicas, len(machines)):
+            candidate = machines[cursor % len(machines)]
+            if candidate != owner and candidate not in replicas:
+                replicas.append(candidate)
+            cursor += 1
+        return replicas
+
+    # -- MemoBacking interface ----------------------------------------------
+
+    def put(self, uid: int, value: Partition) -> None:
+        owner = self._place(uid)
+        if self.config.in_memory_enabled:
+            self._memory[owner][uid] = value
+        self._index[uid] = owner
+        for replica in self._replica_machines(uid, owner):
+            self._disk[replica][uid] = value
+
+    def fetch(self, uid: int) -> Partition | None:
+        owner = self._index.get(uid)
+        if owner is not None and self.cluster.machine(owner).alive:
+            found = self._memory[owner].get(uid)
+            if found is not None:
+                self.stats.memory_reads += 1
+                self.stats.read_time += (
+                    self.config.lookup_overhead
+                    + self.config.memory_read_cost * max(1, len(found))
+                )
+                return found
+        # Fall back to a persistent replica on any alive machine.
+        for machine in self.cluster.machines:
+            if not machine.alive:
+                continue
+            found = self._disk[machine.machine_id].get(uid)
+            if found is not None:
+                self.stats.fallback_reads += 1
+                self.stats.read_time += self.config.lookup_overhead + (
+                    self.config.disk_read_cost + self.config.network_read_cost
+                ) * max(1, len(found))
+                # Promote back into memory for future reads.
+                if self.config.in_memory_enabled:
+                    new_owner = self._place(uid)
+                    self._memory[new_owner][uid] = found
+                    self._index[uid] = new_owner
+                return found
+        self.stats.misses += 1
+        return None
+
+    def fetch_or_raise(self, uid: int) -> Partition:
+        found = self.fetch(uid)
+        if found is None:
+            raise CacheMissError(f"object {uid:#x} not present in any layer")
+        return found
+
+    def delete(self, uid: int) -> None:
+        owner = self._index.pop(uid, None)
+        if owner is not None:
+            self._memory[owner].pop(uid, None)
+        for store in self._memory.values():
+            store.pop(uid, None)
+        for store in self._disk.values():
+            store.pop(uid, None)
+
+    # -- fault handling ------------------------------------------------------
+
+    def on_machine_failure(self, machine_id: int) -> int:
+        """Drop the in-memory contents of a crashed machine.
+
+        Persistent replicas survive, so subsequent fetches succeed via the
+        fallback path.  Returns how many in-memory objects were lost.
+        """
+        lost = len(self._memory[machine_id])
+        self._memory[machine_id] = {}
+        return lost
+
+    # -- accounting ----------------------------------------------------------
+
+    def total_objects(self) -> int:
+        return len(self._index)
+
+    def space(self) -> float:
+        """Abstract size of all stored objects (memory + unique disk copies)."""
+        seen: set[int] = set()
+        size = 0.0
+        for store in list(self._memory.values()) + list(self._disk.values()):
+            for uid, value in store.items():
+                if uid not in seen:
+                    seen.add(uid)
+                    size += max(1.0, float(len(value)))
+        return size
+
+
+@dataclass
+class GarbageCollector:
+    """Master-side GC over a DistributedMemoCache (§6).
+
+    ``collect(live)`` drops everything outside the live set — the default
+    policy of freeing objects that fell out of the current window.  An
+    optional ``budget`` caps how many objects may be retained; when
+    exceeded, the oldest-inserted objects are evicted first (a simple,
+    deterministic user-defined policy).
+    """
+
+    cache: DistributedMemoCache
+    budget: int | None = None
+    collected: int = 0
+    _insertion_order: list[int] = field(default_factory=list)
+
+    def note_insertions(self, uids: list[int]) -> None:
+        self._insertion_order.extend(uids)
+
+    def collect(self, live_uids: set[int]) -> int:
+        """Drop all objects not in ``live_uids``; returns how many."""
+        dead = [uid for uid in list(self.cache._index) if uid not in live_uids]
+        for uid in dead:
+            self.cache.delete(uid)
+        self.collected += len(dead)
+        self._insertion_order = [
+            uid for uid in self._insertion_order if uid in live_uids
+        ]
+        return len(dead)
+
+    def enforce_budget(self) -> int:
+        if self.budget is None:
+            return 0
+        excess = self.cache.total_objects() - self.budget
+        dropped = 0
+        while excess > 0 and self._insertion_order:
+            uid = self._insertion_order.pop(0)
+            if self.cache.owner_of(uid) is not None:
+                self.cache.delete(uid)
+                dropped += 1
+                excess -= 1
+        self.collected += dropped
+        return dropped

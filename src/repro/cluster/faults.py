@@ -1,0 +1,87 @@
+"""Fault injection for the memoization layer and scheduler tests.
+
+Deterministically crashes machines between incremental runs so tests and
+benchmarks can measure (a) that results stay correct, and (b) how much
+extra read time / recomputation a crash costs with and without the
+fault-tolerant memoization layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cache import DistributedMemoCache
+from repro.cluster.machine import Cluster
+from repro.common.rng import RngStream
+
+
+@dataclass
+class FaultPlan:
+    """Which machines crash before which incremental run."""
+
+    crashes: dict[int, list[int]] = field(default_factory=dict)
+
+    @staticmethod
+    def random(
+        cluster: Cluster,
+        runs: int,
+        crash_probability: float,
+        seed: int = 7,
+        max_concurrent: int | None = None,
+    ) -> "FaultPlan":
+        """Sample an independent crash set for each run.
+
+        ``max_concurrent`` bounds simultaneous crashes so replicas (2 by
+        default) always leave at least one copy reachable.
+        """
+        rng = RngStream(seed, "faults")
+        limit = max_concurrent if max_concurrent is not None else 1
+        crashes: dict[int, list[int]] = {}
+        for run_index in range(runs):
+            victims = [
+                m.machine_id
+                for m in cluster.machines
+                if rng.coin(crash_probability)
+            ][:limit]
+            if victims:
+                crashes[run_index] = victims
+        return FaultPlan(crashes)
+
+
+class FaultInjector:
+    """Applies a FaultPlan to a cluster + cache before each run."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cache: DistributedMemoCache | None = None,
+        plan: FaultPlan | None = None,
+        heal: bool = True,
+        slider=None,
+    ) -> None:
+        """``slider``: when given, crashes are routed through
+        :meth:`Slider.on_machine_failure` (cache + block store + local memo
+        views) instead of the bare cache."""
+        self.cluster = cluster
+        self.cache = cache
+        self.slider = slider
+        self.plan = plan or FaultPlan()
+        self.heal = heal
+        self.lost_objects = 0
+        self._downed: list[int] = []
+
+    def before_run(self, run_index: int) -> list[int]:
+        """Crash this run's victims; returns the machine ids crashed."""
+        if self.heal:
+            for machine_id in self._downed:
+                self.cluster.revive(machine_id)
+            self._downed = []
+        victims = self.plan.crashes.get(run_index, [])
+        for machine_id in victims:
+            self.cluster.kill(machine_id)
+            self._downed.append(machine_id)
+            if self.slider is not None:
+                self.lost_objects += self.slider.on_machine_failure(machine_id)
+            elif self.cache is not None:
+                self.lost_objects += self.cache.on_machine_failure(machine_id)
+        return victims

@@ -1,0 +1,109 @@
+"""Machines and cluster configuration.
+
+Mirrors the paper's testbed shape (§7.1): a master plus worker machines,
+each with a number of task slots and a relative speed.  Stragglers are
+modeled as machines whose speed is scaled down by a straggle factor, chosen
+deterministically from the cluster RNG so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SchedulingError
+from repro.common.rng import RngStream
+
+
+@dataclass
+class Machine:
+    """One worker: ``slots`` parallel task slots at ``speed`` work-units/sec."""
+
+    machine_id: int
+    slots: int = 2
+    speed: float = 1.0
+    alive: bool = True
+    #: Multiplier < 1 models a temporarily overloaded (straggler) node.
+    straggle: float = 1.0
+
+    def effective_speed(self) -> float:
+        if not self.alive:
+            raise SchedulingError(f"machine {self.machine_id} is dead")
+        return self.speed * self.straggle
+
+    def duration_for(self, cost: float) -> float:
+        """Seconds to execute ``cost`` work units on this machine."""
+        return cost / self.effective_speed()
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs shaping the simulated cluster."""
+
+    num_machines: int = 24
+    slots_per_machine: int = 2
+    base_speed: float = 1.0
+    #: Fraction of machines that are stragglers in a given run.
+    straggler_fraction: float = 0.08
+    #: Speed multiplier applied to straggler machines.
+    straggler_slowdown: float = 0.5
+    #: Seconds to move one abstract byte across the network.
+    network_cost_per_byte: float = 0.002
+    #: Extra seconds to read one abstract byte from disk instead of memory.
+    disk_cost_per_byte: float = 0.004
+    seed: int = 42
+
+
+class Cluster:
+    """A set of machines plus the shared cost parameters."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        if self.config.num_machines <= 0:
+            raise SchedulingError("cluster needs at least one machine")
+        self.machines = [
+            Machine(
+                machine_id=i,
+                slots=self.config.slots_per_machine,
+                speed=self.config.base_speed,
+            )
+            for i in range(self.config.num_machines)
+        ]
+        self._rng = RngStream(self.config.seed, "cluster")
+        self.assign_stragglers()
+
+    # -- membership --------------------------------------------------------
+
+    def alive_machines(self) -> list[Machine]:
+        alive = [m for m in self.machines if m.alive]
+        if not alive:
+            raise SchedulingError("no alive machines in the cluster")
+        return alive
+
+    def machine(self, machine_id: int) -> Machine:
+        return self.machines[machine_id]
+
+    def kill(self, machine_id: int) -> None:
+        self.machines[machine_id].alive = False
+
+    def revive(self, machine_id: int) -> None:
+        self.machines[machine_id].alive = True
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    # -- stragglers --------------------------------------------------------
+
+    def assign_stragglers(self) -> list[int]:
+        """(Re)sample which machines straggle this run; returns their ids."""
+        for machine in self.machines:
+            machine.straggle = 1.0
+        count = int(round(self.config.straggler_fraction * len(self.machines)))
+        if count == 0:
+            return []
+        chosen = self._rng.choice(
+            [m.machine_id for m in self.machines], size=count, replace=False
+        )
+        ids = [int(i) for i in chosen]
+        for machine_id in ids:
+            self.machines[machine_id].straggle = self.config.straggler_slowdown
+        return ids

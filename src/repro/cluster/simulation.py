@@ -1,0 +1,70 @@
+"""A minimal discrete-event simulation core.
+
+The scheduler simulations are wave-structured (maps, then reduces), so most
+of the heavy lifting is a priority queue of slot-free events; this module
+provides that queue plus a monotonic clock with validation, shared by the
+executor and the fault injector.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        if when < self._now:
+            raise ValueError(
+                f"time cannot go backwards: at {self._now}, asked for {when}"
+            )
+        self._now = when
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+
+@dataclass(order=True)
+class _Event:
+    when: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """A stable priority queue of timed events (FIFO within equal times)."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+
+    def push(self, when: float, payload: Any) -> None:
+        if when < 0:
+            raise ValueError(f"event time must be non-negative, got {when}")
+        heapq.heappush(self._heap, _Event(when, next(self._counter), payload))
+
+    def pop(self) -> tuple[float, Any]:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        event = heapq.heappop(self._heap)
+        return event.when, event.payload
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].when if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

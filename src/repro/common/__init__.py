@@ -1,0 +1,27 @@
+"""Shared low-level utilities: deterministic RNG streams, stable hashing, errors.
+
+Everything in :mod:`repro` is deterministic given a seed.  The helpers here
+are the single source of randomness and hashing so that tree shapes, synthetic
+datasets, and simulated schedules are reproducible across runs and platforms.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    CombinerContractError,
+    SchedulingError,
+    WindowError,
+)
+from repro.common.hashing import stable_hash, stable_hash_pair, content_id
+from repro.common.rng import RngStream, derive_rng
+
+__all__ = [
+    "ReproError",
+    "CombinerContractError",
+    "SchedulingError",
+    "WindowError",
+    "stable_hash",
+    "stable_hash_pair",
+    "content_id",
+    "RngStream",
+    "derive_rng",
+]

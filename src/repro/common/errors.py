@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CombinerContractError(ReproError):
+    """A combiner violated a required algebraic property.
+
+    Rotating contraction trees require commutativity in addition to
+    associativity; the tree constructors raise this error when a job
+    declares a combiner that does not provide the needed property.
+    """
+
+
+class SchedulingError(ReproError):
+    """The cluster simulator was asked to do something impossible.
+
+    Examples: scheduling a task on a dead machine, or running a job on a
+    cluster with zero alive machines.
+    """
+
+
+class WindowError(ReproError):
+    """An invalid sliding-window operation was requested.
+
+    Examples: removing more splits than the window holds, or advancing a
+    fixed-width window by a delta that changes its size.
+    """
+
+
+class CacheMissError(ReproError):
+    """A memoized object was requested but is not present in any layer."""
+
+
+class QueryCompilationError(ReproError):
+    """A logical query plan could not be compiled to a MapReduce pipeline."""

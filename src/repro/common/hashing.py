@@ -1,0 +1,79 @@
+"""Stable, process-independent hashing.
+
+Python's builtin :func:`hash` is randomized per process for strings, which
+would make tree shapes and memo hits non-reproducible.  All identity used by
+memo tables and randomized tree coin flips goes through the helpers here,
+which are based on BLAKE2b and therefore stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_HASH_BYTES = 8
+_MASK = (1 << 64) - 1
+
+
+def _encode(value: Any) -> bytes:
+    """Encode a value into bytes canonically for hashing.
+
+    Supports the types that flow through the data plane: strings, bytes,
+    ints, floats, bools, None, and (possibly nested) tuples/lists of them.
+    """
+    if isinstance(value, bytes):
+        return b"b" + value
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    if isinstance(value, bool):
+        return b"o1" if value else b"o0"
+    if isinstance(value, int):
+        return b"i" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"f" + repr(value).encode("ascii")
+    if value is None:
+        return b"n"
+    if isinstance(value, (tuple, list)):
+        return _encode_sequence(b"t", [_encode(item) for item in value])
+    if isinstance(value, (frozenset, set)):
+        # Canonicalize by sorting element encodings: set order must not
+        # change the hash.
+        return _encode_sequence(b"F", sorted(_encode(item) for item in value))
+    raise TypeError(f"cannot stably hash value of type {type(value).__name__}")
+
+
+def _encode_sequence(tag: bytes, encoded_items: list[bytes]) -> bytes:
+    parts = [tag, str(len(encoded_items)).encode("ascii")]
+    for encoded in encoded_items:
+        parts.append(str(len(encoded)).encode("ascii"))
+        parts.append(b":")
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def stable_hash(value: Any, *, salt: str = "") -> int:
+    """Return a stable 64-bit hash of ``value``.
+
+    The optional ``salt`` derives independent hash families from the same
+    input (used e.g. for per-level coin flips in the randomized folding
+    tree).
+    """
+    digest = hashlib.blake2b(
+        _encode(value), digest_size=_HASH_BYTES, person=salt.encode("utf-8")[:16]
+    ).digest()
+    return int.from_bytes(digest, "big") & _MASK
+
+
+def stable_hash_pair(left: int, right: int, *, salt: str = "") -> int:
+    """Combine two 64-bit ids into one, stably.
+
+    This is the identity function used for internal contraction-tree nodes:
+    a node's content id is a function of its children's content ids, so two
+    nodes computed from identical inputs share a memo entry.
+    """
+    return stable_hash((left, right), salt=salt)
+
+
+def content_id(*parts: Any) -> int:
+    """Return a stable content id for a sequence of hashable parts."""
+    return stable_hash(tuple(parts), salt="cid")

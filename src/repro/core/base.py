@@ -1,0 +1,173 @@
+"""Common interface for contraction trees.
+
+A contraction tree manages one reducer partition's sub-computations.  The
+Slider engine drives it through the window lifecycle of Algorithm 1:
+``initial_run`` builds the tree from all leaves, then each slide calls
+``advance(added, removed)`` which deletes old leaves, inserts new ones,
+propagates the change, and returns the new root partition to feed the
+Reduce function.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.memo import MemoTable
+from repro.core.partition import Partition, combine_partitions
+from repro.metrics import Phase, WorkMeter
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.mapreduce
+    from repro.mapreduce.combiners import Combiner
+
+
+@dataclass
+class TreeStats:
+    """Counters that expose how much a tree recomputed versus reused."""
+
+    combiner_invocations: int = 0
+    combiner_reuses: int = 0
+    height: int = 0
+    leaves: int = 0
+
+    def reuse_rate(self) -> float:
+        total = self.combiner_invocations + self.combiner_reuses
+        return self.combiner_reuses / total if total else 0.0
+
+
+class ContractionTree(ABC):
+    """Base class: a per-reducer incremental combiner tree.
+
+    Subclasses implement ``initial_run`` and ``advance``.  All combiner
+    work must flow through :meth:`_combine` so that work metering, memo
+    I/O costs, and the invocation counters stay consistent across
+    variants.
+    """
+
+    #: Set by subclasses that only support restricted slides.
+    supports_remove: bool = True
+    requires_commutative: bool = False
+
+    #: Fixed work charged per real combiner invocation: the task-launch and
+    #: data-movement constant a sub-computation costs on a real cluster.
+    DEFAULT_INVOCATION_OVERHEAD = 2.0
+    #: Per-record data-movement charge when a node passes a single live
+    #: child through (relative to a real merge's per-record cost of ~1).
+    PASS_THROUGH_WEIGHT = 0.2
+
+    def __init__(
+        self,
+        combiner: Combiner,
+        meter: WorkMeter | None = None,
+        memo: MemoTable | None = None,
+        combine_cost_factor: float = 1.0,
+        memo_read_cost: float = 0.01,
+        memo_write_cost: float = 0.02,
+        invocation_overhead: float | None = None,
+    ) -> None:
+        if not combiner.associative:
+            raise ValueError("contraction trees require an associative combiner")
+        self.combiner = combiner
+        self.meter = meter if meter is not None else WorkMeter()
+        self.memo = memo if memo is not None else MemoTable()
+        self.combine_cost_factor = combine_cost_factor
+        self.memo_read_cost = memo_read_cost
+        self.memo_write_cost = memo_write_cost
+        self.invocation_overhead = (
+            invocation_overhead
+            if invocation_overhead is not None
+            else self.DEFAULT_INVOCATION_OVERHEAD
+        )
+        self.stats = TreeStats()
+        self._ran_initial = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abstractmethod
+    def initial_run(self, leaves: Sequence[Partition]) -> Partition:
+        """Build the tree over ``leaves`` and return the root partition."""
+
+    @abstractmethod
+    def advance(
+        self, added: Sequence[Partition], removed: int
+    ) -> Partition:
+        """Slide the window: drop ``removed`` leaves from the front, append
+        ``added`` at the back, propagate, and return the new root."""
+
+    @abstractmethod
+    def window_leaves(self) -> list[Partition]:
+        """The current window's leaf partitions, in window order."""
+
+    def root(self) -> Partition:
+        """The current root partition (after the last run)."""
+        raise NotImplementedError
+
+    # -- shared machinery ----------------------------------------------------
+
+    def _combine(
+        self,
+        parts: Sequence[Partition],
+        phase: Phase = Phase.CONTRACTION,
+        memo_uid: int | None = None,
+        cost_scale: float = 1.0,
+    ) -> Partition:
+        """One (possibly memoized) combiner invocation over ``parts``.
+
+        ``cost_scale`` discounts the charged cost when the merge piggybacks
+        on work another task performs anyway (e.g. the Reduce task's own
+        merge pass consuming a root-and-delta union in split processing).
+        """
+        if memo_uid is not None:
+            cached = self.memo.lookup(memo_uid)
+            if cached is not None:
+                self.stats.combiner_reuses += 1
+                if self.memo_read_cost:
+                    self.meter.charge(Phase.MEMO_READ, self.memo_read_cost)
+                return cached
+        self.stats.combiner_invocations += 1
+        non_empty = sum(1 for p in parts if p)
+        if non_empty == 1:
+            # A pass-through node (single live child): no merge runs, but
+            # the child's data still moves through the tree position — on a
+            # real cluster every tree node spills and copies its input, so
+            # an overly tall tree is not free even where siblings are void.
+            value = next(p for p in parts if p)
+            self.meter.charge(
+                phase,
+                cost_scale
+                * (
+                    0.5 * self.invocation_overhead
+                    + self.PASS_THROUGH_WEIGHT
+                    * value.record_weight(self.combiner)
+                ),
+            )
+            return value
+        result = combine_partitions(
+            parts,
+            self.combiner,
+            meter=self.meter,
+            phase=phase,
+            cost_factor=self.combine_cost_factor * cost_scale,
+            invocation_overhead=self.invocation_overhead * cost_scale,
+        )
+        if memo_uid is not None:
+            self.memo.store(memo_uid, result)
+            if self.memo_write_cost:
+                self.meter.charge(Phase.MEMO_WRITE, self.memo_write_cost)
+        return result
+
+    def _check_initial(self, done: bool) -> None:
+        if done and self._ran_initial:
+            raise RuntimeError("initial_run may only be called once")
+        if not done and not self._ran_initial:
+            raise RuntimeError("advance called before initial_run")
+        self._ran_initial = True
+
+    def reference_root(self) -> Partition:
+        """Recompute the root non-incrementally (for verification only).
+
+        Charges no work; used by tests and invariant checks to confirm
+        that incremental maintenance matches batch recomputation.
+        """
+        return combine_partitions(self.window_leaves(), self.combiner, meter=None)

@@ -1,0 +1,115 @@
+"""Memo tables: content-addressed storage for sub-computation results.
+
+Every contraction-tree node result is memoized under a stable content id
+derived from its inputs.  A hit means the Combiner invocation is skipped
+entirely (only a small memo-read cost is charged); a miss runs the combiner
+and stores the result.  The cluster layer wraps this table with the
+distributed in-memory cache and its fault-tolerant replicas (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.partition import Partition
+from repro.metrics import Phase, WorkMeter
+
+
+@dataclass
+class MemoStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class MemoTable:
+    """A content-addressed result store with optional external backing.
+
+    ``backing`` (when set by the cluster layer) is consulted on local miss
+    and written through on store, letting one table transparently span the
+    in-memory distributed cache and the persistent replicated layer.
+    """
+
+    entries: dict[int, Partition] = field(default_factory=dict)
+    stats: MemoStats = field(default_factory=MemoStats)
+    backing: "MemoBacking | None" = None
+
+    def lookup(self, uid: int) -> Partition | None:
+        found = self.entries.get(uid)
+        if found is None and self.backing is not None:
+            found = self.backing.fetch(uid)
+            if found is not None:
+                self.entries[uid] = found
+        if found is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return found
+
+    def store(self, uid: int, value: Partition) -> None:
+        self.entries[uid] = value
+        if self.backing is not None:
+            self.backing.put(uid, value)
+
+    def discard(self, uid: int) -> None:
+        if self.entries.pop(uid, None) is not None:
+            self.stats.evictions += 1
+        if self.backing is not None:
+            self.backing.delete(uid)
+
+    def get_or_compute(
+        self,
+        uid: int,
+        compute: Callable[[], Partition],
+        meter: WorkMeter | None = None,
+        read_cost: float = 0.0,
+        write_cost: float = 0.0,
+    ) -> Partition:
+        """Return the memoized value for ``uid`` or compute and store it.
+
+        ``compute`` is expected to charge its own combiner work to the
+        meter; this helper only charges memo I/O.
+        """
+        found = self.lookup(uid)
+        if found is not None:
+            if meter is not None and read_cost:
+                meter.charge(Phase.MEMO_READ, read_cost)
+            return found
+        value = compute()
+        self.store(uid, value)
+        if meter is not None and write_cost:
+            meter.charge(Phase.MEMO_WRITE, write_cost)
+        return value
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def space(self) -> float:
+        """Total abstract size of retained results (for space overheads)."""
+        return float(sum(len(p) for p in self.entries.values()))
+
+    def retain_only(self, live_uids: set[int]) -> int:
+        """Garbage-collect entries outside ``live_uids``; returns count."""
+        dead = [uid for uid in self.entries if uid not in live_uids]
+        for uid in dead:
+            self.discard(uid)
+        return len(dead)
+
+
+class MemoBacking:
+    """Interface the cluster cache layer implements to back a MemoTable."""
+
+    def fetch(self, uid: int) -> Partition | None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def put(self, uid: int, value: Partition) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def delete(self, uid: int) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,148 @@
+"""The Partition algebra: the data held at every contraction-tree node.
+
+A Partition maps keys to combined values.  Combining two partitions applies
+the job's Combiner per key; the work charged is the combiner's declared merge
+cost, scaled by the job's combine cost factor.  Partitions carry a stable
+content id so identical results share memo entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.common.hashing import content_id, stable_hash
+from repro.metrics import Phase, WorkMeter
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.mapreduce
+    from repro.mapreduce.combiners import Combiner
+
+
+class Partition:
+    """An immutable key -> combined-value mapping with a content id."""
+
+    __slots__ = ("entries", "uid")
+
+    def __init__(self, entries: Mapping[Any, Any], uid: int | None = None) -> None:
+        self.entries: dict[Any, Any] = dict(entries)
+        if uid is None:
+            uid = _fingerprint_entries(self.entries)
+        self.uid = uid
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "Partition":
+        return _EMPTY
+
+    @staticmethod
+    def from_value_lists(
+        buffer: Mapping[Any, list[Any]],
+        combiner: Combiner,
+        meter: WorkMeter | None = None,
+        phase: Phase = Phase.MAP,
+    ) -> "Partition":
+        """Build a partition from per-key value lists (a Map task's buffer)."""
+        entries: dict[Any, Any] = {}
+        cost = 0.0
+        for key, values in buffer.items():
+            if len(values) == 1:
+                entries[key] = values[0]
+            else:
+                entries[key] = combiner.merge(key, values)
+                cost += combiner.merge_cost(key, values)
+        if meter is not None and cost:
+            meter.charge(phase, cost)
+        return Partition(entries)
+
+    # -- protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self.uid == other.uid and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition({len(self.entries)} keys, uid={self.uid:#x})"
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self.entries.get(key, default)
+
+    def keys(self):
+        return self.entries.keys()
+
+    def items(self):
+        return self.entries.items()
+
+    def record_weight(self, combiner: Combiner) -> float:
+        """Total abstract size of the partition, in combiner size units."""
+        return sum(combiner.value_size(v) for v in self.entries.values())
+
+
+def _fingerprint_entries(entries: Mapping[Any, Any]) -> int:
+    # Key order must not matter: XOR per-entry hashes (stable, order-free).
+    acc = stable_hash(len(entries), salt="pfp")
+    for key, value in entries.items():
+        acc ^= stable_hash((key, _coerce(value)), salt="pent")
+    return acc
+
+
+def _coerce(value: Any) -> Any:
+    """Best-effort stable projection of a combined value."""
+    if isinstance(value, frozenset):
+        return tuple(sorted(value, key=repr))
+    return value
+
+
+_EMPTY = Partition({}, uid=content_id("empty-partition"))
+
+
+def combine_partitions(
+    partitions: Sequence[Partition],
+    combiner: Combiner,
+    meter: WorkMeter | None = None,
+    phase: Phase = Phase.CONTRACTION,
+    cost_factor: float = 1.0,
+    invocation_overhead: float = 0.0,
+) -> Partition:
+    """Combine several partitions into one, charging per-key merge cost.
+
+    This is the single Combiner-invocation primitive every contraction tree
+    is built from.  Associativity of the combiner makes any combination
+    order produce the same result.
+
+    ``invocation_overhead`` is a fixed charge per *real* merge (two or more
+    non-empty inputs), modelling the task-launch and data-movement cost a
+    combiner invocation has on a real cluster; pass-throughs are free.
+    """
+    non_empty = [p for p in partitions if p]
+    if not non_empty:
+        return Partition.empty()
+    if len(non_empty) == 1:
+        return non_empty[0]
+
+    merged_lists: dict[Any, list[Any]] = {}
+    for partition in non_empty:
+        for key, value in partition.entries.items():
+            merged_lists.setdefault(key, []).append(value)
+
+    entries: dict[Any, Any] = {}
+    cost = 0.0
+    for key, values in merged_lists.items():
+        if len(values) == 1:
+            entries[key] = values[0]
+            cost += combiner.value_size(values[0]) * 0.1  # copy-through cost
+        else:
+            entries[key] = combiner.merge(key, values)
+            cost += combiner.merge_cost(key, values)
+    if meter is not None:
+        meter.charge(phase, cost * cost_factor + invocation_overhead)
+    return Partition(entries)

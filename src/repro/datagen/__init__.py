@@ -1,0 +1,25 @@
+"""Synthetic data generators.
+
+Deterministic, seeded substitutes for the paper's datasets (see DESIGN.md's
+substitution table): Zipfian text for the Wikipedia corpus, unit-cube points
+for the clustering inputs, a preferential-attachment Twitter graph with
+retweet cascades, Glasnost-style RTT traces, and NetSession-style client
+logs.
+"""
+
+from repro.datagen.glasnost import GlasnostTraceGenerator, TestRun
+from repro.datagen.netsession import ClientLogGenerator, LogRecord
+from repro.datagen.points import PointGenerator
+from repro.datagen.text import TextCorpusGenerator
+from repro.datagen.twitter import TweetGenerator, TwitterGraph
+
+__all__ = [
+    "GlasnostTraceGenerator",
+    "TestRun",
+    "ClientLogGenerator",
+    "LogRecord",
+    "PointGenerator",
+    "TextCorpusGenerator",
+    "TweetGenerator",
+    "TwitterGraph",
+]

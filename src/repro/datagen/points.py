@@ -1,0 +1,50 @@
+"""Random points from a unit cube — the paper's own K-Means/KNN input.
+
+Points are plain tuples of floats so they remain stably hashable for split
+content ids.  Optional cluster structure makes K-Means convergence behave
+realistically.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import RngStream
+
+
+class PointGenerator:
+    """Seeded generator of points in the ``dimensions``-d unit cube."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        dimensions: int = 50,
+        clusters: int = 0,
+        cluster_spread: float = 0.05,
+    ) -> None:
+        if dimensions <= 0:
+            raise ValueError("dimensions must be positive")
+        self.dimensions = dimensions
+        self.clusters = clusters
+        self.cluster_spread = cluster_spread
+        self._rng = RngStream(seed, "datagen.points")
+        self._centers: list[tuple[float, ...]] = []
+        if clusters > 0:
+            self._centers = [
+                tuple(float(x) for x in self._rng.uniform(size=dimensions))
+                for _ in range(clusters)
+            ]
+
+    @property
+    def centers(self) -> list[tuple[float, ...]]:
+        return list(self._centers)
+
+    def point(self) -> tuple[float, ...]:
+        if not self._centers:
+            return tuple(float(x) for x in self._rng.uniform(size=self.dimensions))
+        center = self._centers[int(self._rng.integers(0, len(self._centers)))]
+        noise = self._rng.normal(0.0, self.cluster_spread, size=self.dimensions)
+        return tuple(
+            min(1.0, max(0.0, c + float(n))) for c, n in zip(center, noise)
+        )
+
+    def points(self, count: int) -> list[tuple[float, ...]]:
+        return [self.point() for _ in range(count)]

@@ -1,0 +1,68 @@
+"""Job specification and cost model.
+
+A :class:`MapReduceJob` is the non-incremental program the user writes once;
+Slider runs it either from scratch (baseline) or incrementally, without any
+change to the job itself — the paper's transparency requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.mapreduce.combiners import Combiner
+
+# map_fn(record) -> iterable of (key, value) pairs, value already in
+# combined form (see combiners module docstring).
+MapFn = Callable[[Any], Iterable[tuple[Any, Any]]]
+# reduce_fn(key, combined_value) -> final output value for the key.
+ReduceFn = Callable[[Any, Any], Any]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Abstract work-unit costs for the phases of a job.
+
+    ``map_cost_per_record`` encodes compute intensity: K-Means/KNN have
+    large values (the paper's compute-intensive class, ~98 % of work in the
+    Map phase, Figure 9), text/matrix jobs small ones (data-intensive
+    class, roughly even split).
+    """
+
+    map_cost_per_record: float = 1.0
+    combine_cost_factor: float = 1.0
+    reduce_cost_per_key: float = 1.0
+    shuffle_cost_per_pair: float = 0.05
+    memo_write_cost_per_key: float = 0.02
+    memo_read_cost_per_key: float = 0.01
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """A complete job: Map + Combiner + Reduce + partitioning + costs."""
+
+    name: str
+    map_fn: MapFn
+    combiner: Combiner
+    reduce_fn: ReduceFn = field(default=lambda key, value: value)
+    num_reducers: int = 4
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_reducers <= 0:
+            raise ValueError(f"num_reducers must be positive, got {self.num_reducers}")
+        if not self.combiner.associative:
+            raise ValueError(
+                f"job {self.name!r}: contraction requires an associative combiner"
+            )
+
+    def with_reducers(self, num_reducers: int) -> "MapReduceJob":
+        """A copy of this job with a different reducer count."""
+        return MapReduceJob(
+            name=self.name,
+            map_fn=self.map_fn,
+            combiner=self.combiner,
+            reduce_fn=self.reduce_fn,
+            num_reducers=num_reducers,
+            costs=self.costs,
+        )

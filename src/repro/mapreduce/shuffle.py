@@ -1,0 +1,83 @@
+"""Partitioning and shuffle.
+
+Map outputs are routed to reducer partitions by a hash partitioner (as in
+Hadoop).  The shuffle groups one Map task's emissions into per-reducer
+:class:`~repro.core.partition.Partition` objects — the leaves of the
+contraction trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.common.hashing import stable_hash
+from repro.core.partition import Partition
+from repro.mapreduce.job import MapReduceJob
+from repro.metrics import Phase, WorkMeter
+
+
+class HashPartitioner:
+    """Routes a key to one of ``num_partitions`` reducers, stably."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        return stable_hash(key, salt="part") % self.num_partitions
+
+
+def run_map_task(
+    job: MapReduceJob,
+    records: Iterable[Any],
+    partitioner: HashPartitioner,
+    meter: WorkMeter | None = None,
+) -> list[Partition]:
+    """Run the Map function over a split and locally combine per reducer.
+
+    Returns one Partition per reducer (possibly empty).  Charges map work
+    (per record, at the job's compute intensity) and shuffle work (per
+    emitted pair).
+    """
+    buffers: list[dict[Any, list[Any]]] = [
+        {} for _ in range(partitioner.num_partitions)
+    ]
+    record_count = 0
+    pair_count = 0
+    for record in records:
+        record_count += 1
+        for key, value in job.map_fn(record):
+            pair_count += 1
+            buffers[partitioner.partition(key)].setdefault(key, []).append(value)
+
+    if meter is not None:
+        meter.charge(Phase.MAP, record_count * job.costs.map_cost_per_record)
+        meter.charge(Phase.SHUFFLE, pair_count * job.costs.shuffle_cost_per_pair)
+
+    outputs = []
+    for buffer in buffers:
+        outputs.append(Partition.from_value_lists(buffer, job.combiner, meter=None))
+    return outputs
+
+
+def shuffle_map_outputs(
+    map_outputs: list[list[Partition]], num_reducers: int
+) -> list[list[Partition]]:
+    """Transpose per-map per-reducer outputs into per-reducer leaf lists.
+
+    ``map_outputs[m][r]`` is Map task ``m``'s partition for reducer ``r``;
+    the result's ``[r][m]`` preserves Map-task order, which contraction
+    trees rely on for windowed slides.
+    """
+    per_reducer: list[list[Partition]] = [[] for _ in range(num_reducers)]
+    for partitions in map_outputs:
+        if len(partitions) != num_reducers:
+            raise ValueError(
+                f"map output has {len(partitions)} partitions, expected {num_reducers}"
+            )
+        for reducer_index, partition in enumerate(partitions):
+            per_reducer[reducer_index].append(partition)
+    return per_reducer

@@ -1,0 +1,122 @@
+"""Work and time accounting.
+
+The paper evaluates two measures (§7.1):
+
+* **work** — the total amount of computation performed by all tasks (Map,
+  contraction, Reduce), measured as the sum of the active time of all tasks;
+* **time** — the end-to-end running time of the job.
+
+In this reproduction, *work* is accumulated by a :class:`WorkMeter` that every
+task and combiner invocation charges, in abstract cost units proportional to
+the records it touches (scaled by the application's compute intensity).
+*Time* is the makespan of replaying the same task graph on the simulated
+cluster (:mod:`repro.cluster`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Phase(enum.Enum):
+    """The phase a unit of work is charged to."""
+
+    MAP = "map"
+    CONTRACTION = "contraction"
+    REDUCE = "reduce"
+    SHUFFLE = "shuffle"
+    MEMO_READ = "memo_read"
+    MEMO_WRITE = "memo_write"
+    BACKGROUND = "background"
+
+
+@dataclass
+class WorkMeter:
+    """Accumulates abstract work units per phase.
+
+    Work units are deterministic functions of the records processed, so two
+    runs over the same input charge identical work, which makes
+    speedup ratios exact rather than noisy wall-clock estimates.
+    """
+
+    by_phase: dict[Phase, float] = field(default_factory=dict)
+    task_costs: list[tuple[Phase, float]] = field(default_factory=list)
+    _task_tracking: bool = True
+
+    def charge(self, phase: Phase, amount: float) -> None:
+        """Charge ``amount`` work units to ``phase``."""
+        if amount < 0:
+            raise ValueError(f"work must be non-negative, got {amount}")
+        self.by_phase[phase] = self.by_phase.get(phase, 0.0) + amount
+        if self._task_tracking:
+            self.task_costs.append((phase, amount))
+
+    def total(self) -> float:
+        """Total work across all phases."""
+        return sum(self.by_phase.values())
+
+    def phase_total(self, *phases: Phase) -> float:
+        """Total work across the given phases."""
+        return sum(self.by_phase.get(p, 0.0) for p in phases)
+
+    def foreground_total(self) -> float:
+        """Work excluding background pre-processing."""
+        return self.total() - self.by_phase.get(Phase.BACKGROUND, 0.0)
+
+    def merge(self, other: "WorkMeter") -> None:
+        """Fold another meter's counters into this one."""
+        for phase, amount in other.by_phase.items():
+            self.by_phase[phase] = self.by_phase.get(phase, 0.0) + amount
+        self.task_costs.extend(other.task_costs)
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict view, keyed by phase value, for reports."""
+        return {phase.value: amount for phase, amount in self.by_phase.items()}
+
+    def reset(self) -> None:
+        self.by_phase.clear()
+        self.task_costs.clear()
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Metrics for one (initial or incremental) run of a job.
+
+    ``work`` is the WorkMeter total; ``time`` is the simulated makespan
+    (or equals work when run without a cluster); ``space`` counts the
+    memoized bytes retained after the run.
+    """
+
+    label: str
+    work: float
+    time: float
+    space: float = 0.0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: "RunReport") -> "Speedup":
+        """Speedup of *this* run relative to ``baseline``-as-the-slow-case.
+
+        Matches the paper's convention: ``speedup = baseline / ours``.
+        """
+        return Speedup(
+            work=_ratio(baseline.work, self.work),
+            time=_ratio(baseline.time, self.time),
+        )
+
+
+@dataclass(frozen=True)
+class Speedup:
+    """A work/time speedup pair, as reported throughout §7."""
+
+    work: float
+    time: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"work {self.work:.2f}x, time {self.time:.2f}x"
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator

@@ -1,0 +1,108 @@
+"""A PigMix-style query benchmark suite (Figure 10's workload).
+
+PigMix exercises Pig's compiler with scripts over a synthetic *page views*
+table.  We reproduce the structure from scratch: a seeded generator of page
+view rows and a set of representative query scripts — scalar aggregation,
+filtered join, a two-stage group-over-group pipeline, distinct users, and a
+multi-aggregate group — each compiling to one or more MapReduce jobs.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import RngStream
+from repro.mapreduce.types import Split, make_splits
+from repro.query.aggregates import Count, CountDistinct, Mean, SumField
+from repro.query.plan import Query
+
+#: Page-view row fields (by index).
+USER, ACTION, TIMESPENT, QUERY_TERM, REVENUE, PAGE = range(6)
+
+PAGE_VIEW_SCHEMA = ("user", "action", "timespent", "query_term", "revenue", "page")
+
+ACTIONS = ("view", "click", "purchase")
+QUERY_TERMS = ("sports", "news", "weather", "games", "music", "travel", "food")
+
+
+class PigMixDataGenerator:
+    """Seeded generator of page-view rows with Zipfian user skew."""
+
+    def __init__(self, seed: int = 0, num_users: int = 500, num_pages: int = 200):
+        self.num_users = num_users
+        self.num_pages = num_pages
+        self._rng = RngStream(seed, "datagen.pigmix")
+
+    def row(self) -> tuple:
+        user = min(int(self._rng.zipf(1.4)) - 1, self.num_users - 1)
+        action = ACTIONS[int(self._rng.integers(0, len(ACTIONS)))]
+        timespent = int(self._rng.integers(1, 300))
+        term = QUERY_TERMS[int(self._rng.integers(0, len(QUERY_TERMS)))]
+        revenue = round(float(self._rng.exponential(2.0)), 4)
+        page = int(self._rng.integers(0, self.num_pages))
+        return (user, action, timespent, term, revenue, page)
+
+    def rows(self, count: int) -> list[tuple]:
+        return [self.row() for _ in range(count)]
+
+    def splits(self, count: int, rows_per_split: int = 50) -> list[Split]:
+        return make_splits(
+            self.rows(count * rows_per_split),
+            split_size=rows_per_split,
+            label_prefix="pv",
+        )
+
+    def power_users_table(self, fraction: float = 0.1) -> dict:
+        """A small static reference table for map-side joins."""
+        cutoff = max(1, int(self.num_users * fraction))
+        return {user: f"tier{user % 3}" for user in range(cutoff)}
+
+
+def pigmix_query(name: str, generator: PigMixDataGenerator | None = None) -> Query:
+    """Build one of the benchmark queries by name."""
+    generator = generator or PigMixDataGenerator()
+    base = Query.load(PAGE_VIEW_SCHEMA)
+
+    if name == "L1_total_revenue_per_user":
+        return base.group_by(lambda r: r[USER], SumField(REVENUE))
+
+    if name == "L2_power_user_clicks":
+        return (
+            base.filter(lambda r: r[ACTION] == "click")
+            .join(generator.power_users_table(), key_fn=lambda r: r[USER])
+            .group_by(lambda r: r[-1], Count())  # clicks per tier
+        )
+
+    if name == "L3_revenue_band_histogram":
+        # Two pipelined MapReduce jobs: per-user revenue, then a histogram
+        # of users per revenue band — the multi-level-tree case.
+        return (
+            base.group_by(lambda r: r[USER], SumField(REVENUE))
+            .group_by(lambda r: int(r[1] // 5.0), Count())
+        )
+
+    if name == "L5_distinct_users_per_term":
+        return base.group_by(lambda r: r[QUERY_TERM], CountDistinct(USER))
+
+    if name == "L17_multi_aggregate":
+        return base.group_by(
+            lambda r: r[ACTION],
+            [Count(), SumField(REVENUE), Mean(TIMESPENT)],
+        )
+
+    if name == "L8_top_pages":
+        return (
+            base.group_by(lambda r: r[PAGE], Count())
+            .top(10, score_fn=lambda r: r[1])
+        )
+
+    raise ValueError(f"unknown PigMix query {name!r}")
+
+
+#: The benchmark suite, in reporting order.
+PIGMIX_QUERIES = (
+    "L1_total_revenue_per_user",
+    "L2_power_user_clicks",
+    "L3_revenue_band_histogram",
+    "L5_distinct_users_per_term",
+    "L8_top_pages",
+    "L17_multi_aggregate",
+)

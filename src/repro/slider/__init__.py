@@ -1,0 +1,26 @@
+"""The Slider system: transparent incremental sliding-window analytics.
+
+Glues together the substrates: Map tasks (memoized per split), per-reducer
+self-adjusting contraction trees, the Reduce phase, the distributed
+memoization cache, and the cluster scheduler that turns per-task costs into
+an end-to-end *time* estimate.
+
+The public entry point is :class:`~repro.slider.system.Slider`::
+
+    slider = Slider(job, mode=WindowMode.FIXED)
+    result = slider.initial_run(splits)
+    result = slider.advance(added=new_splits, removed=2)
+    print(result.outputs, result.report.work, result.report.time)
+"""
+
+from repro.slider.baseline import VanillaRunner
+from repro.slider.system import Slider, SliderConfig, SliderResult
+from repro.slider.window import WindowMode
+
+__all__ = [
+    "Slider",
+    "SliderConfig",
+    "SliderResult",
+    "VanillaRunner",
+    "WindowMode",
+]

@@ -1,0 +1,140 @@
+"""Time-based window driving: the convenience layer over Slider.
+
+:class:`~repro.slider.system.Slider` thinks in *splits*; real deployments
+think in *time*: "a one-hour window sliding every five minutes".  The
+:class:`StreamDriver` consumes timestamped records, buckets them into
+per-slide split batches, and drives a Slider through the corresponding
+window advances — fixed-width when every slide carries the same number of
+splits is not guaranteed, so the driver runs in VARIABLE (or APPEND) mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.errors import WindowError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import Split, make_splits
+from repro.slider.system import Slider, SliderConfig, SliderResult
+from repro.slider.window import WindowMode
+
+#: Extracts the event time from a record.
+TimestampFn = Callable[[Any], float]
+
+
+@dataclass
+class _SlideBatch:
+    """Splits admitted for one slide interval."""
+
+    slide_index: int
+    splits: list[Split] = field(default_factory=list)
+
+
+class StreamDriver:
+    """Drives a Slider over a stream with a duration-based sliding window.
+
+    ``window`` and ``slide`` are in the stream's time unit.  Records are
+    buffered until a slide boundary passes, then chopped into splits and
+    fed to the Slider: splits whose slide interval fell out of the window
+    are dropped from the front, the new interval's splits are appended.
+
+    Use ``window=None`` for an append-only (landmark) window.
+    """
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        timestamp_fn: TimestampFn,
+        slide: float,
+        window: float | None = None,
+        split_size: int = 100,
+        slider_config: SliderConfig | None = None,
+        cluster=None,
+    ) -> None:
+        if slide <= 0:
+            raise WindowError(f"slide must be positive, got {slide}")
+        if window is not None:
+            if window <= 0:
+                raise WindowError(f"window must be positive, got {window}")
+            if window < slide:
+                raise WindowError("window must be at least one slide long")
+        self.job = job
+        self.timestamp_fn = timestamp_fn
+        self.slide = slide
+        self.window = window
+        self.split_size = split_size
+        mode = WindowMode.APPEND if window is None else WindowMode.VARIABLE
+        self.mode = mode
+        self.slider = Slider(
+            job, mode=mode, config=slider_config, cluster=cluster
+        )
+        #: Slide intervals currently inside the window, oldest first.
+        self._live_batches: list[_SlideBatch] = []
+        self._pending: list[Any] = []
+        self._next_boundary: float | None = None
+        self._slide_index = 0
+        self._ran_initial = False
+        self.results: list[SliderResult] = []
+
+    @property
+    def slides_per_window(self) -> int | None:
+        if self.window is None:
+            return None
+        return int(round(self.window / self.slide))
+
+    def feed(self, records: Iterable[Any]) -> list[SliderResult]:
+        """Consume records (non-decreasing timestamps); returns the results
+        of any window advances the records triggered."""
+        produced: list[SliderResult] = []
+        for record in records:
+            when = self.timestamp_fn(record)
+            if self._next_boundary is None:
+                self._next_boundary = (when // self.slide + 1) * self.slide
+            while when >= self._next_boundary:
+                result = self._close_slide()
+                if result is not None:
+                    produced.append(result)
+                self._next_boundary += self.slide
+            self._pending.append(record)
+        return produced
+
+    def flush(self) -> SliderResult | None:
+        """Force the currently buffered records through as a final slide."""
+        return self._close_slide()
+
+    def current_outputs(self) -> dict[Any, Any]:
+        """Outputs as of the last completed slide."""
+        return self.results[-1].outputs if self.results else {}
+
+    # -- internals ---------------------------------------------------------
+
+    def _close_slide(self) -> SliderResult | None:
+        records, self._pending = self._pending, []
+        batch = _SlideBatch(self._slide_index)
+        self._slide_index += 1
+        if records:
+            batch.splits = make_splits(
+                records,
+                split_size=self.split_size,
+                label_prefix=f"slide{batch.slide_index}-",
+            )
+        self._live_batches.append(batch)
+
+        removed = 0
+        limit = self.slides_per_window
+        if limit is not None:
+            while len(self._live_batches) > limit:
+                expired = self._live_batches.pop(0)
+                removed += len(expired.splits)
+
+        if not self._ran_initial:
+            window_splits = [
+                split for live in self._live_batches for split in live.splits
+            ]
+            result = self.slider.initial_run(window_splits)
+            self._ran_initial = True
+        else:
+            result = self.slider.advance(batch.splits, removed)
+        self.results.append(result)
+        return result

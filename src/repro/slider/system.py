@@ -1,0 +1,507 @@
+"""The Slider engine.
+
+Runs a MapReduceJob over a sliding window incrementally:
+
+1. new splits are processed by Map tasks (memoized by split content id —
+   splits still in the window never re-run their Map function);
+2. each reducer's contraction tree absorbs the per-reducer deltas and
+   propagates the change to its root;
+3. Reduce runs on every root to produce the final outputs;
+4. optionally, the same task graph is replayed on the simulated cluster to
+   produce an end-to-end *time* estimate alongside the exact *work* count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.cluster.cache import CacheConfig, DistributedMemoCache, GarbageCollector
+from repro.cluster.machine import Cluster
+from repro.cluster.scheduler import (
+    HybridScheduler,
+    Scheduler,
+    SimTask,
+    simulate_two_waves,
+)
+from repro.common.errors import WindowError
+from repro.common.hashing import stable_hash
+from repro.core.base import ContractionTree
+from repro.core.coalescing import CoalescingTree
+from repro.core.folding import FoldingTree
+from repro.core.memo import MemoTable
+from repro.core.partition import Partition
+from repro.core.randomized import RandomizedFoldingTree
+from repro.core.rotating import RotatingTree
+from repro.core.strawman import StrawmanTree
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import reduce_partition
+from repro.mapreduce.shuffle import HashPartitioner, run_map_task
+from repro.mapreduce.types import Split, SplitWindow
+from repro.metrics import Phase, RunReport, WorkMeter
+from repro.slider.window import WindowDelta, WindowMode
+
+#: Tree-variant names accepted by SliderConfig.tree.
+TREE_VARIANTS = ("auto", "folding", "randomized", "rotating", "coalescing", "strawman")
+
+
+@dataclass(frozen=True)
+class SliderConfig:
+    """Configuration for a Slider instance."""
+
+    mode: WindowMode = WindowMode.VARIABLE
+    #: Tree variant; "auto" picks the paper's choice for the mode.
+    tree: str = "auto"
+    #: Splits per rotating-tree bucket (the paper's w), FIXED mode only.
+    bucket_size: int = 1
+    #: Enable background pre-processing (§4) for FIXED/APPEND modes.
+    split_mode: bool = False
+    #: Rebuild threshold for the plain folding tree (None = never rebuild).
+    rebuild_factor: int | None = None
+    #: Seed for the randomized folding tree's coins.
+    seed: int = 0
+    #: Garbage-collect memoized state that fell out of the window.
+    auto_gc: bool = True
+
+    def tree_variant(self) -> str:
+        if self.tree != "auto":
+            if self.tree not in TREE_VARIANTS:
+                raise ValueError(f"unknown tree variant {self.tree!r}")
+            return self.tree
+        return {
+            WindowMode.APPEND: "coalescing",
+            WindowMode.FIXED: "rotating",
+            WindowMode.VARIABLE: "folding",
+        }[self.mode]
+
+
+@dataclass
+class SliderResult:
+    """Outputs plus the metrics of one run.
+
+    ``changed_keys``/``removed_keys`` form the output *delta* of this run
+    relative to the previous one — what a downstream consumer of the
+    incrementally-maintained result needs to apply, without diffing the
+    whole output dict itself.
+    """
+
+    outputs: dict[Any, Any]
+    report: RunReport
+    run_index: int
+    reused_map_tasks: int = 0
+    new_map_tasks: int = 0
+    changed_keys: frozenset = frozenset()
+    removed_keys: frozenset = frozenset()
+
+
+@dataclass
+class _RunSnapshot:
+    """Meter/phase snapshot used to compute per-run deltas."""
+
+    totals: dict[Phase, float] = field(default_factory=dict)
+
+    @staticmethod
+    def of(meter: WorkMeter) -> "_RunSnapshot":
+        return _RunSnapshot(dict(meter.by_phase))
+
+    def delta(self, meter: WorkMeter) -> dict[Phase, float]:
+        return {
+            phase: meter.by_phase.get(phase, 0.0) - self.totals.get(phase, 0.0)
+            for phase in set(meter.by_phase) | set(self.totals)
+        }
+
+
+class Slider:
+    """Incremental sliding-window executor for one MapReduceJob."""
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        mode: WindowMode = WindowMode.VARIABLE,
+        config: SliderConfig | None = None,
+        cluster: Cluster | None = None,
+        scheduler: Scheduler | None = None,
+        cache_config: CacheConfig | None = None,
+    ) -> None:
+        if config is not None and config.mode is not mode:
+            config = SliderConfig(**{**config.__dict__, "mode": mode})
+        self.job = job
+        self.config = config or SliderConfig(mode=mode)
+        self.mode = mode
+        self.partitioner = HashPartitioner(job.num_reducers)
+        self.meter = WorkMeter()
+        self.window = SplitWindow()
+        self.cluster = cluster
+        self.scheduler = scheduler or HybridScheduler()
+        self.cache: DistributedMemoCache | None = None
+        self.gc: GarbageCollector | None = None
+        self.blocks = None
+        if cluster is not None:
+            from repro.cluster.storage import BlockStore
+
+            self.cache = DistributedMemoCache(cluster, cache_config)
+            self.gc = GarbageCollector(self.cache)
+            self.blocks = BlockStore(cluster)
+        #: split uid -> per-reducer map-output partitions.
+        self._map_memo: dict[int, list[Partition]] = {}
+        self.trees: list[ContractionTree] = [
+            self._make_tree() for _ in range(job.num_reducers)
+        ]
+        #: per-reducer memoized Reduce outputs: key -> (root value, output).
+        self._reduce_memo: list[dict[Any, tuple[Any, Any]]] = [
+            {} for _ in range(job.num_reducers)
+        ]
+        self._run_index = 0
+        self._ran_initial = False
+
+    # -- tree construction ---------------------------------------------------
+
+    def _make_tree(self) -> ContractionTree:
+        memo = MemoTable(backing=self.cache)
+        common = dict(
+            meter=self.meter,
+            memo=memo,
+            combine_cost_factor=self.job.costs.combine_cost_factor,
+            memo_read_cost=self.job.costs.memo_read_cost_per_key,
+            memo_write_cost=self.job.costs.memo_write_cost_per_key,
+        )
+        variant = self.config.tree_variant()
+        if variant == "folding":
+            return FoldingTree(
+                self.job.combiner,
+                rebuild_factor=self.config.rebuild_factor,
+                **common,
+            )
+        if variant == "randomized":
+            return RandomizedFoldingTree(
+                self.job.combiner, seed=self.config.seed, **common
+            )
+        if variant == "rotating":
+            return RotatingTree(
+                self.job.combiner,
+                bucket_size=self.config.bucket_size,
+                split_mode=self.config.split_mode,
+                **common,
+            )
+        if variant == "coalescing":
+            return CoalescingTree(
+                self.job.combiner, split_mode=self.config.split_mode, **common
+            )
+        if variant == "strawman":
+            return StrawmanTree(self.job.combiner, **common)
+        raise ValueError(f"unknown tree variant {variant!r}")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def initial_run(self, splits: Sequence[Split]) -> SliderResult:
+        """Process the first window from scratch, building all trees."""
+        if self._ran_initial:
+            raise WindowError("initial_run may only be called once")
+        self._ran_initial = True
+        snapshot = _RunSnapshot.of(self.meter)
+        new_map_costs = self._run_maps(splits)
+        self.window.append(list(splits))
+
+        per_reducer = self._reducer_leaves(splits)
+        roots = self._advance_trees(
+            lambda r, tree: tree.initial_run(per_reducer[r])
+        )
+        outputs = self._reduce_all(roots)
+        return self._finish_run(
+            snapshot, outputs, new_map_costs, reused=0, label="initial"
+        )
+
+    def advance(self, added: Sequence[Split], removed: int) -> SliderResult:
+        """Slide the window and incrementally update the output."""
+        if not self._ran_initial:
+            raise WindowError("advance called before initial_run")
+        WindowDelta(len(added), removed).validate(self.mode, len(self.window))
+
+        snapshot = _RunSnapshot.of(self.meter)
+        reused = sum(1 for s in added if s.uid in self._map_memo)
+        new_map_costs = self._run_maps(added)
+        self.window.drop_front(removed)
+        self.window.append(list(added))
+
+        per_reducer = self._reducer_leaves(added)
+        roots = self._advance_trees(
+            lambda r, tree: tree.advance(per_reducer[r], removed)
+        )
+        outputs = self._reduce_all(roots)
+        result = self._finish_run(
+            snapshot,
+            outputs,
+            new_map_costs,
+            reused=reused,
+            label=f"incremental-{self._run_index}",
+        )
+        if self.config.auto_gc:
+            self.collect_garbage()
+        return result
+
+    def background_preprocess(self) -> float:
+        """Run the best-effort background phase on every tree (§4).
+
+        Returns the background work charged.  No-op for trees without a
+        split-processing mode.
+        """
+        before = self.meter.by_phase.get(Phase.BACKGROUND, 0.0)
+        for tree in self.trees:
+            preprocess = getattr(tree, "background_preprocess", None)
+            if preprocess is not None:
+                preprocess()
+        return self.meter.by_phase.get(Phase.BACKGROUND, 0.0) - before
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_maps(self, splits: Sequence[Split]) -> dict[int, float]:
+        """Run (or reuse) Map tasks; returns per-split charged cost."""
+        if self.blocks is not None:
+            self.blocks.store_all(splits)
+        costs: dict[int, float] = {}
+        for split in splits:
+            if split.uid in self._map_memo:
+                self.meter.charge(
+                    Phase.MEMO_READ,
+                    self.job.costs.memo_read_cost_per_key * max(1, len(split)),
+                )
+                costs[split.uid] = 0.0
+                continue
+            before = self.meter.total()
+            self._map_memo[split.uid] = run_map_task(
+                self.job, split.records, self.partitioner, self.meter
+            )
+            costs[split.uid] = self.meter.total() - before
+        return costs
+
+    def _advance_trees(self, step) -> list[Partition]:
+        """Run ``step`` on every tree, recording per-reducer work (which the
+        time simulation uses for realistic reduce-task imbalance)."""
+        roots = []
+        self._last_tree_costs = []
+        for reducer_index, tree in enumerate(self.trees):
+            before = self.meter.total()
+            roots.append(step(reducer_index, tree))
+            self._last_tree_costs.append(self.meter.total() - before)
+        return roots
+
+    def _reducer_leaves(self, splits: Sequence[Split]) -> list[list[Partition]]:
+        per_reducer: list[list[Partition]] = [
+            [] for _ in range(self.job.num_reducers)
+        ]
+        for split in splits:
+            outputs = self._map_memo[split.uid]
+            for reducer_index, partition in enumerate(outputs):
+                per_reducer[reducer_index].append(partition)
+        return per_reducer
+
+    def _reduce_all(self, roots: list[Partition]) -> dict[Any, Any]:
+        """Apply Reduce per key, reusing outputs for unchanged root values.
+
+        Change propagation is per-key (Algorithm 1): a key whose combined
+        value did not change between runs keeps its memoized Reduce output
+        at only a memo-read cost; changed and new keys pay the full Reduce
+        cost.
+        """
+        outputs: dict[Any, Any] = {}
+        read_cost = self.job.costs.memo_read_cost_per_key
+        reduce_cost = self.job.costs.reduce_cost_per_key
+        changed_keys: set[Any] = set()
+        removed_keys: set[Any] = set()
+        for reducer_index, root in enumerate(roots):
+            reduce_start = self.meter.total()
+            memo = self._reduce_memo[reducer_index]
+            fresh: dict[Any, tuple[Any, Any]] = {}
+            changed = 0
+            unchanged = 0
+            for key, value in root.items():
+                cached = memo.get(key)
+                if cached is not None and cached[0] == value:
+                    output = cached[1]
+                    unchanged += 1
+                else:
+                    output = self.job.reduce_fn(key, value)
+                    changed += 1
+                    changed_keys.add(key)
+                fresh[key] = (value, output)
+                outputs[key] = output
+            removed_keys.update(key for key in memo if key not in fresh)
+            self._reduce_memo[reducer_index] = fresh
+            if changed:
+                self.meter.charge(Phase.REDUCE, changed * reduce_cost)
+            if unchanged:
+                self.meter.charge(Phase.MEMO_READ, unchanged * read_cost)
+            if reducer_index < len(self._last_tree_costs):
+                self._last_tree_costs[reducer_index] += (
+                    self.meter.total() - reduce_start
+                )
+        self._last_changed_keys = frozenset(changed_keys)
+        self._last_removed_keys = frozenset(removed_keys)
+        return outputs
+
+    def _finish_run(
+        self,
+        snapshot: _RunSnapshot,
+        outputs: dict[Any, Any],
+        new_map_costs: dict[int, float],
+        reused: int,
+        label: str,
+    ) -> SliderResult:
+        phase_delta = snapshot.delta(self.meter)
+        work = sum(
+            amount
+            for phase, amount in phase_delta.items()
+            if phase is not Phase.BACKGROUND
+        )
+        time = self._simulate_time(phase_delta, new_map_costs)
+        report = RunReport(
+            label=label,
+            work=work,
+            time=time,
+            space=self.space(),
+            breakdown={phase.value: amount for phase, amount in phase_delta.items()},
+        )
+        result = SliderResult(
+            outputs=outputs,
+            report=report,
+            run_index=self._run_index,
+            reused_map_tasks=reused,
+            new_map_tasks=sum(1 for cost in new_map_costs.values() if cost > 0),
+            changed_keys=getattr(self, "_last_changed_keys", frozenset()),
+            removed_keys=getattr(self, "_last_removed_keys", frozenset()),
+        )
+        self._run_index += 1
+        return result
+
+    def _simulate_time(
+        self, phase_delta: dict[Phase, float], new_map_costs: dict[int, float]
+    ) -> float:
+        """Replay this run's tasks on the cluster; fall back to work-as-time."""
+        foreground = sum(
+            amount
+            for phase, amount in phase_delta.items()
+            if phase is not Phase.BACKGROUND
+        )
+        if self.cluster is None:
+            return foreground
+
+        map_tasks = []
+        for uid, cost in new_map_costs.items():
+            if cost <= 0:
+                continue
+            if self.blocks is not None:
+                preferred = self.blocks.preferred_machine(uid)
+            else:
+                preferred = stable_hash(uid, salt="splitloc") % len(self.cluster)
+            map_tasks.append(
+                SimTask(
+                    label=f"map:{uid:#x}",
+                    cost=cost,
+                    preferred_machine=preferred,
+                    fetch_bytes=cost,
+                    kind="map",
+                )
+            )
+        map_total = sum(t.cost for t in map_tasks)
+        reduce_side = foreground - map_total
+        reduce_tasks = []
+        # Per-reducer costs measured during the run; any residue (shuffle,
+        # map-side memo reads) spreads evenly.
+        tree_costs = getattr(self, "_last_tree_costs", None)
+        if not tree_costs or len(tree_costs) != len(self.trees):
+            tree_costs = [0.0] * len(self.trees)
+        residue = max(0.0, reduce_side - sum(tree_costs)) / max(
+            1, len(self.trees)
+        )
+        for reducer_index, tree in enumerate(self.trees):
+            # A reduce task migrated away from its memoized state must pull
+            # that state (tree node values) over the network.
+            state_size = tree.memo.space()
+            cache = getattr(tree, "_cache", None)
+            if isinstance(cache, dict):
+                state_size += sum(
+                    len(p) for p in cache.values() if isinstance(p, Partition)
+                )
+            reduce_tasks.append(
+                SimTask(
+                    label=f"reduce:{reducer_index}",
+                    cost=max(tree_costs[reducer_index] + residue, 0.0),
+                    preferred_machine=stable_hash(
+                        (self.job.name, reducer_index), salt="memoloc"
+                    )
+                    % len(self.cluster),
+                    fetch_bytes=state_size,
+                    kind="reduce",
+                )
+            )
+        makespan, _ = simulate_two_waves(
+            map_tasks, reduce_tasks, self.cluster, self.scheduler
+        )
+        return makespan
+
+    # -- maintenance ---------------------------------------------------------
+
+    def on_machine_failure(self, machine_id: int) -> int:
+        """React to a worker crash (§6).
+
+        The crashed machine's share of the in-memory distributed cache is
+        lost; the block store re-replicates its blocks; and the trees'
+        process-local memo views are invalidated, so subsequent lookups go
+        through the shim I/O layer (replicas when the memory copy is
+        gone).  Returns the number of in-memory cache objects lost.
+        """
+        lost = 0
+        if self.cache is not None:
+            lost = self.cache.on_machine_failure(machine_id)
+        if self.blocks is not None:
+            self.blocks.on_machine_failure(machine_id)
+        for tree in self.trees:
+            tree.memo.entries.clear()
+        return lost
+
+    def collect_garbage(self) -> int:
+        """Drop memoized state that the current window can no longer use."""
+        live_split_uids = {split.uid for split in self.window}
+        dead = [uid for uid in self._map_memo if uid not in live_split_uids]
+        for uid in dead:
+            del self._map_memo[uid]
+            if self.blocks is not None:
+                self.blocks.drop_split(uid)
+        dropped = len(dead)
+        for tree in self.trees:
+            live = getattr(tree, "live_memo_uids", None)
+            if live is not None:
+                dropped += tree.memo.retain_only(live())
+        if self.gc is not None and self.cache is not None:
+            # The distributed cache mirrors tree memo tables; retain union.
+            live_uids: set[int] = set()
+            for tree in self.trees:
+                live = getattr(tree, "live_memo_uids", None)
+                if live is not None:
+                    live_uids |= live()
+                else:
+                    live_uids |= set(tree.memo.entries)
+            self.gc.collect(live_uids)
+        return dropped
+
+    def space(self) -> float:
+        """Memoized state retained across runs (Figure 13's space metric)."""
+        map_space = sum(
+            sum(len(p) for p in partitions)
+            for partitions in self._map_memo.values()
+        )
+        tree_space = sum(tree.memo.space() for tree in self.trees)
+        cache_space = 0.0
+        for tree in self.trees:
+            cache = getattr(tree, "_cache", None)
+            if isinstance(cache, dict):
+                cache_space += sum(len(p) for p in cache.values())
+        return float(map_space) + tree_space + cache_space
+
+    def current_outputs(self) -> dict[Any, Any]:
+        """Re-derive outputs from current roots without charging work."""
+        outputs: dict[Any, Any] = {}
+        for tree in self.trees:
+            for key, value in tree.root().items():
+                outputs[key] = self.job.reduce_fn(key, value)
+        return outputs

@@ -1,0 +1,47 @@
+"""Sliding-window modes and delta validation.
+
+The paper distinguishes three variants (§3-§4), each served by a dedicated
+contraction tree:
+
+* ``APPEND`` — the window only grows (coalescing trees);
+* ``FIXED`` — equal-sized add/remove slides (rotating trees);
+* ``VARIABLE`` — arbitrary shrink/grow (folding trees, optionally the
+  randomized variant).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import WindowError
+
+
+class WindowMode(enum.Enum):
+    APPEND = "append"
+    FIXED = "fixed"
+    VARIABLE = "variable"
+
+
+@dataclass(frozen=True)
+class WindowDelta:
+    """One slide: how many splits leave the front, how many join the back."""
+
+    added: int
+    removed: int
+
+    def validate(self, mode: WindowMode, window_size: int) -> None:
+        if self.added < 0 or self.removed < 0:
+            raise WindowError("delta counts must be non-negative")
+        if self.removed > window_size:
+            raise WindowError(
+                f"cannot remove {self.removed} splits from a window of "
+                f"{window_size}"
+            )
+        if mode is WindowMode.APPEND and self.removed:
+            raise WindowError("append-only windows cannot remove splits")
+        if mode is WindowMode.FIXED and self.added != self.removed:
+            raise WindowError(
+                f"fixed-width windows require add == remove "
+                f"(got add={self.added}, remove={self.removed})"
+            )

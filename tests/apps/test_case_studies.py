@@ -1,0 +1,145 @@
+"""Unit tests for the three real-world case-study analyses (§8)."""
+
+from repro.apps.glasnost import (
+    glasnost_job,
+    make_glasnost_splits,
+    median_from_histogram,
+)
+from repro.apps.netsession import make_log_splits, netsession_audit_job
+from repro.apps.twitter import make_tweet_splits, propagation_tree_job
+from repro.datagen.glasnost import GlasnostTraceGenerator, TestRun
+from repro.datagen.netsession import ClientLogGenerator
+from repro.datagen.twitter import Tweet, TweetGenerator, TwitterGraph
+from repro.mapreduce.runtime import BatchRuntime
+from repro.slider.system import Slider
+from repro.slider.window import WindowMode
+
+
+# -- Twitter (§8.1, append-only) ------------------------------------------
+
+
+def test_propagation_tree_counts_edges_and_depth():
+    tweets = [
+        Tweet(user=1, url=7, timestamp=1, source_user=-1),
+        Tweet(user=2, url=7, timestamp=2, source_user=1),
+        Tweet(user=3, url=7, timestamp=3, source_user=2),
+        Tweet(user=9, url=8, timestamp=4, source_user=-1),
+    ]
+    job = propagation_tree_job()
+    outputs = BatchRuntime(job).run(make_tweet_splits(tweets, 2)).outputs
+    tree = outputs[7]
+    assert tree["posts"] == 3
+    assert tree["edges"] == 2
+    assert tree["depth"] == 2
+    assert outputs[8]["edges"] == 0
+
+
+def test_propagation_tree_incremental_append_matches_batch():
+    graph = TwitterGraph(num_users=60, seed=4)
+    generator = TweetGenerator(graph, num_urls=12, seed=4)
+    intervals = [generator.tweets(120) for _ in range(4)]
+    job = propagation_tree_job()
+
+    slider = Slider(job, WindowMode.APPEND)
+    slider.initial_run(make_tweet_splits(intervals[0], 30))
+    seen = list(intervals[0])
+    for interval in intervals[1:]:
+        seen.extend(interval)
+        result = slider.advance(make_tweet_splits(interval, 30), 0)
+    expected = BatchRuntime(job).run(make_tweet_splits(seen, 30)).outputs
+    # Same URLs, same summaries (the splits differ, the union is equal).
+    assert result.outputs == {
+        url: BatchRuntime(job).run(make_tweet_splits(seen, 30)).outputs[url]
+        for url in result.outputs
+    }
+    assert result.outputs == expected
+
+
+# -- Glasnost (§8.2, fixed-width) ------------------------------------------
+
+
+def test_median_from_histogram():
+    histogram = ((10, 2), (20, 3))  # bins 10 and 20
+    assert median_from_histogram(histogram) == (20 + 0.5) * 0.5
+    assert median_from_histogram(()) == 0.0
+
+
+def test_glasnost_median_min_rtt():
+    runs = [
+        TestRun(server=0, host=h, month=0, rtts_ms=(rtt, rtt + 5.0))
+        for h, rtt in enumerate([10.0, 20.0, 30.0])
+    ]
+    job = glasnost_job()
+    outputs = BatchRuntime(job).run(make_glasnost_splits(runs, 2)).outputs
+    assert outputs[0] == 20.25  # bin 40 midpoint = 20.25ms
+
+
+def test_glasnost_incremental_fixed_window_matches_batch():
+    generator = GlasnostTraceGenerator(seed=2)
+    months = [generator.month_of_runs(m, 40) for m in range(5)]
+    job = glasnost_job()
+
+    runs_per_split = 10
+    slider = Slider(job, WindowMode.FIXED)
+    window_months = months[:3]
+    slider.initial_run(
+        make_glasnost_splits([r for m in window_months for r in m], runs_per_split)
+    )
+    # Slide: drop the oldest month, add the next (equal split counts: 4 each).
+    result = slider.advance(
+        make_glasnost_splits(months[3], runs_per_split), removed=4
+    )
+    window = [r for m in months[1:4] for r in m]
+    expected = BatchRuntime(job).run(
+        make_glasnost_splits(window, runs_per_split)
+    ).outputs
+    assert result.outputs == expected
+
+
+# -- NetSession (§8.3, variable-width) ---------------------------------------
+
+
+def test_netsession_audit_verifies_chains():
+    generator = ClientLogGenerator(num_clients=20, entries_per_client=3, seed=6)
+    records = generator.week_of_logs(0)
+    job = netsession_audit_job()
+    outputs = BatchRuntime(job).run(make_log_splits(records, 10)).outputs
+    assert len(outputs) == 20
+    for audit in outputs.values():
+        assert audit["chain_ok"]
+        assert audit["entries"] == 3
+        assert audit["bytes_served"] > 0
+
+
+def test_netsession_variable_window_matches_batch():
+    generator = ClientLogGenerator(num_clients=40, entries_per_client=2, seed=8)
+    weeks = [
+        generator.week_of_logs(w, online_fraction=f)
+        for w, f in enumerate([1.0, 0.9, 0.8, 1.0, 0.75])
+    ]
+    job = netsession_audit_job()
+    logs_per_split = 16
+
+    split_batches = [make_log_splits(week, logs_per_split) for week in weeks]
+    slider = Slider(job, WindowMode.VARIABLE)
+    window = split_batches[0] + split_batches[1] + split_batches[2]
+    slider.initial_run(window)
+    # Slide by one week: remove week 0's splits, add week 3's.
+    window = window[len(split_batches[0]) :] + split_batches[3]
+    result = slider.advance(split_batches[3], removed=len(split_batches[0]))
+    expected = BatchRuntime(job).run(window).outputs
+    assert result.outputs == expected
+    # Window sizes genuinely vary with the online fraction.
+    sizes = {len(batch) for batch in split_batches}
+    assert len(sizes) > 1
+
+
+def test_netsession_detects_tampering():
+    generator = ClientLogGenerator(
+        num_clients=30, entries_per_client=4, seed=9, tamper_fraction=0.5
+    )
+    records = generator.week_of_logs(0)
+    job = netsession_audit_job()
+    outputs = BatchRuntime(job).run(make_log_splits(records, 12)).outputs
+    flagged = [c for c, audit in outputs.items() if not audit["chain_ok"]]
+    assert flagged, "tampered chains must be detected"

@@ -1,0 +1,55 @@
+"""Unit tests for fault injection."""
+
+from repro.cluster.cache import DistributedMemoCache
+from repro.cluster.faults import FaultInjector, FaultPlan
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.core.partition import Partition
+
+
+def quiet_cluster(n=6) -> Cluster:
+    return Cluster(ClusterConfig(num_machines=n, straggler_fraction=0.0))
+
+
+def test_plan_is_deterministic():
+    cluster = quiet_cluster()
+    a = FaultPlan.random(cluster, runs=10, crash_probability=0.3, seed=5)
+    b = FaultPlan.random(cluster, runs=10, crash_probability=0.3, seed=5)
+    assert a.crashes == b.crashes
+
+
+def test_zero_probability_never_crashes():
+    cluster = quiet_cluster()
+    plan = FaultPlan.random(cluster, runs=10, crash_probability=0.0)
+    assert plan.crashes == {}
+
+
+def test_injector_kills_and_heals():
+    cluster = quiet_cluster(n=3)
+    plan = FaultPlan(crashes={0: [1], 1: [2]})
+    injector = FaultInjector(cluster, plan=plan, heal=True)
+
+    assert injector.before_run(0) == [1]
+    assert not cluster.machine(1).alive
+
+    assert injector.before_run(1) == [2]
+    assert cluster.machine(1).alive  # healed
+    assert not cluster.machine(2).alive
+
+
+def test_injector_counts_lost_cache_objects():
+    cluster = quiet_cluster(n=3)
+    cache = DistributedMemoCache(cluster)
+    # Place objects until some land on machine 0.
+    uids_on_0 = []
+    for uid in range(30):
+        cache.put(uid, Partition({"k": uid}))
+        if cache.owner_of(uid) == 0:
+            uids_on_0.append(uid)
+    assert uids_on_0, "placement should spread over machines"
+
+    injector = FaultInjector(cluster, cache=cache, plan=FaultPlan({0: [0]}))
+    injector.before_run(0)
+    assert injector.lost_objects == len(uids_on_0)
+    # Fault-tolerant layer still serves the lost objects.
+    for uid in uids_on_0:
+        assert cache.fetch(uid) is not None

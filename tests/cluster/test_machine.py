@@ -1,0 +1,60 @@
+"""Unit tests for machines and cluster construction."""
+
+import pytest
+
+from repro.cluster.machine import Cluster, ClusterConfig, Machine
+from repro.common.errors import SchedulingError
+
+
+def test_machine_duration_scales_with_speed():
+    fast = Machine(0, speed=2.0)
+    slow = Machine(1, speed=0.5)
+    assert fast.duration_for(10.0) == 5.0
+    assert slow.duration_for(10.0) == 20.0
+
+
+def test_dead_machine_rejects_execution():
+    machine = Machine(0, alive=False)
+    with pytest.raises(SchedulingError):
+        machine.effective_speed()
+
+
+def test_straggler_slows_machine():
+    machine = Machine(0, speed=1.0, straggle=0.5)
+    assert machine.duration_for(10.0) == 20.0
+
+
+def test_cluster_builds_configured_machines():
+    cluster = Cluster(ClusterConfig(num_machines=5, slots_per_machine=3))
+    assert len(cluster) == 5
+    assert all(m.slots == 3 for m in cluster.machines)
+
+
+def test_cluster_requires_machines():
+    with pytest.raises(SchedulingError):
+        Cluster(ClusterConfig(num_machines=0))
+
+
+def test_straggler_assignment_is_deterministic():
+    a = Cluster(ClusterConfig(num_machines=24, seed=9))
+    b = Cluster(ClusterConfig(num_machines=24, seed=9))
+    ids_a = [m.machine_id for m in a.machines if m.straggle < 1.0]
+    ids_b = [m.machine_id for m in b.machines if m.straggle < 1.0]
+    assert ids_a == ids_b
+    assert ids_a  # 8% of 24 rounds to 2 stragglers
+
+
+def test_kill_and_revive():
+    cluster = Cluster(ClusterConfig(num_machines=3, straggler_fraction=0.0))
+    cluster.kill(1)
+    assert [m.machine_id for m in cluster.alive_machines()] == [0, 2]
+    cluster.revive(1)
+    assert len(cluster.alive_machines()) == 3
+
+
+def test_all_dead_raises():
+    cluster = Cluster(ClusterConfig(num_machines=2, straggler_fraction=0.0))
+    cluster.kill(0)
+    cluster.kill(1)
+    with pytest.raises(SchedulingError):
+        cluster.alive_machines()

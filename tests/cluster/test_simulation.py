@@ -1,0 +1,55 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.cluster.simulation import EventQueue, SimClock
+
+
+def test_clock_advances_monotonically():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+    with pytest.raises(ValueError):
+        clock.advance_to(4.0)
+
+
+def test_clock_reset():
+    clock = SimClock()
+    clock.advance_to(3.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_event_queue_orders_by_time():
+    queue = EventQueue()
+    queue.push(3.0, "c")
+    queue.push(1.0, "a")
+    queue.push(2.0, "b")
+    assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_event_queue_fifo_within_equal_times():
+    queue = EventQueue()
+    queue.push(1.0, "first")
+    queue.push(1.0, "second")
+    assert queue.pop()[1] == "first"
+    assert queue.pop()[1] == "second"
+
+
+def test_event_queue_rejects_negative_time():
+    with pytest.raises(ValueError):
+        EventQueue().push(-1.0, "x")
+
+
+def test_event_queue_pop_empty():
+    with pytest.raises(IndexError):
+        EventQueue().pop()
+
+
+def test_event_queue_peek_and_len():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    assert not queue
+    queue.push(2.5, "x")
+    assert queue.peek_time() == 2.5
+    assert len(queue) == 1

@@ -1,0 +1,80 @@
+"""Unit tests for stable hashing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import content_id, stable_hash, stable_hash_pair
+
+
+def test_stable_across_calls():
+    assert stable_hash("hello") == stable_hash("hello")
+    assert stable_hash((1, "a", 2.5)) == stable_hash((1, "a", 2.5))
+
+
+def test_known_types_supported():
+    for value in [b"bytes", "str", 3, 2.5, True, None, (1, (2, 3)), [1, 2]]:
+        assert isinstance(stable_hash(value), int)
+
+
+def test_type_distinction():
+    # Values that are == in Python but different types hash differently.
+    assert stable_hash(1) != stable_hash("1")
+    assert stable_hash(1) != stable_hash(1.0)
+    assert stable_hash(True) != stable_hash(1)
+
+
+def test_salt_derives_independent_families():
+    assert stable_hash("x", salt="a") != stable_hash("x", salt="b")
+
+
+def test_frozenset_order_independent():
+    assert stable_hash(frozenset({"a", "b", "c"})) == stable_hash(
+        frozenset({"c", "a", "b"})
+    )
+    assert stable_hash((1, frozenset({1, 2}))) == stable_hash(
+        (1, frozenset({2, 1}))
+    )
+
+
+def test_nested_structures():
+    value = ("key", (1, [2.5, None], frozenset({("a", 1)})))
+    assert stable_hash(value) == stable_hash(value)
+
+
+def test_unhashable_type_rejected():
+    with pytest.raises(TypeError):
+        stable_hash(object())
+    with pytest.raises(TypeError):
+        stable_hash({"dict": 1})
+
+
+def test_pair_and_content_id():
+    assert stable_hash_pair(1, 2) != stable_hash_pair(2, 1)
+    assert content_id("a", 1) == content_id("a", 1)
+    assert content_id("a", 1) != content_id("a", 2)
+
+
+def test_64_bit_range():
+    for value in ["x", 123, (1, 2, 3)]:
+        h = stable_hash(value)
+        assert 0 <= h < (1 << 64)
+
+
+@given(st.lists(st.integers()))
+def test_list_tuple_equivalent(xs):
+    # Lists and tuples encode identically (both are sequences).
+    assert stable_hash(xs) == stable_hash(tuple(xs))
+
+
+@given(
+    st.tuples(st.integers(), st.text(), st.floats(allow_nan=False)),
+    st.tuples(st.integers(), st.text(), st.floats(allow_nan=False)),
+)
+def test_distinct_tuples_rarely_collide(a, b):
+    if a != b:
+        assert stable_hash(a) != stable_hash(b)
+
+
+@given(st.sets(st.integers(), min_size=0, max_size=10))
+def test_set_hash_matches_frozenset(s):
+    assert stable_hash(s) == stable_hash(frozenset(s))

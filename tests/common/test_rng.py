@@ -1,0 +1,59 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.common.rng import RngStream, derive_rng
+
+
+def test_same_seed_same_sequence():
+    a = RngStream(1, "x")
+    b = RngStream(1, "x")
+    assert list(a.integers(0, 100, size=10)) == list(b.integers(0, 100, size=10))
+
+
+def test_different_names_are_independent():
+    a = RngStream(1, "x")
+    b = RngStream(1, "y")
+    assert list(a.integers(0, 1 << 30, size=8)) != list(
+        b.integers(0, 1 << 30, size=8)
+    )
+
+
+def test_child_streams_are_stable():
+    root = RngStream(5)
+    assert root.child("sub").name == "root/sub"
+    a = RngStream(5).child("sub").integers(0, 1000, size=5)
+    b = RngStream(5).child("sub").integers(0, 1000, size=5)
+    assert list(a) == list(b)
+
+
+def test_consuming_one_stream_does_not_shift_another():
+    """The classic simulator pitfall this module exists to prevent."""
+    a1 = RngStream(9, "a")
+    b1 = RngStream(9, "b")
+    b1_seq = list(b1.integers(0, 1000, size=5))
+
+    a2 = RngStream(9, "a")
+    _ = a2.integers(0, 1000, size=100)  # heavy use of stream a
+    b2 = RngStream(9, "b")
+    assert list(b2.integers(0, 1000, size=5)) == b1_seq
+
+
+def test_coin_respects_extremes():
+    rng = RngStream(3, "coins")
+    assert not rng.coin(0.0)
+    assert rng.coin(1.0)
+
+
+def test_derive_rng_path():
+    stream = derive_rng(7, "datagen", "text")
+    assert stream.name == "root/datagen/text"
+
+
+def test_distributions_produce_expected_shapes():
+    rng = RngStream(11, "dist")
+    assert len(rng.uniform(size=4)) == 4
+    assert len(rng.normal(size=3)) == 3
+    assert len(rng.exponential(2.0, size=5)) == 5
+    assert all(z >= 1 for z in rng.zipf(1.5, size=10))
+    values = [1, 2, 3, 4]
+    picked = rng.choice(values, size=2, replace=False)
+    assert len(set(int(p) for p in picked)) == 2

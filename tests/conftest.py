@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import RngStream
+from repro.core.partition import Partition
+from repro.mapreduce.combiners import SumCombiner
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    return RngStream(seed=1234, name="tests")
+
+
+@pytest.fixture
+def sum_combiner() -> SumCombiner:
+    return SumCombiner()
+
+
+def counts_partition(pairs: dict) -> Partition:
+    """Build a Partition of key -> count entries."""
+    return Partition(dict(pairs))
+
+
+def leaf_seq(values: list[int]) -> list[Partition]:
+    """One single-key partition per value; roots then sum the values.
+
+    Each leaf also carries a unique positional key so leaves are
+    distinguishable (distinct uids) even when values repeat.
+    """
+    return [
+        Partition({"total": value, ("leaf", index): 1})
+        for index, value in enumerate(values)
+    ]
+
+
+def root_total(partition: Partition) -> int:
+    """The summed 'total' key of a root built from leaf_seq leaves."""
+    return partition.get("total", 0)

@@ -1,0 +1,69 @@
+"""Unit tests for the memo table."""
+
+from repro.core.memo import MemoTable
+from repro.core.partition import Partition
+from repro.metrics import Phase, WorkMeter
+
+
+def test_lookup_miss_then_hit():
+    table = MemoTable()
+    assert table.lookup(1) is None
+    assert table.stats.misses == 1
+    table.store(1, Partition({"k": 1}))
+    assert table.lookup(1) == Partition({"k": 1})
+    assert table.stats.hits == 1
+
+
+def test_get_or_compute_runs_once():
+    table = MemoTable()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return Partition({"k": 2})
+
+    first = table.get_or_compute(7, compute)
+    second = table.get_or_compute(7, compute)
+    assert first == second
+    assert len(calls) == 1
+
+
+def test_get_or_compute_charges_costs():
+    table = MemoTable()
+    meter = WorkMeter()
+    table.get_or_compute(
+        1, lambda: Partition({"k": 1}), meter=meter, write_cost=0.5
+    )
+    assert meter.by_phase[Phase.MEMO_WRITE] == 0.5
+    table.get_or_compute(
+        1, lambda: Partition({"k": 1}), meter=meter, read_cost=0.25
+    )
+    assert meter.by_phase[Phase.MEMO_READ] == 0.25
+
+
+def test_discard_counts_evictions():
+    table = MemoTable()
+    table.store(1, Partition({"k": 1}))
+    table.discard(1)
+    table.discard(99)  # absent: no eviction counted
+    assert table.stats.evictions == 1
+    assert table.lookup(1) is None
+
+
+def test_retain_only():
+    table = MemoTable()
+    for uid in range(5):
+        table.store(uid, Partition({"k": uid}))
+    dropped = table.retain_only({0, 2})
+    assert dropped == 3
+    assert len(table) == 2
+    assert table.space() == 2.0
+
+
+def test_hit_rate():
+    table = MemoTable()
+    table.store(1, Partition({"k": 1}))
+    table.lookup(1)
+    table.lookup(2)
+    assert table.stats.hit_rate() == 0.5
+    assert MemoTable().stats.hit_rate() == 0.0

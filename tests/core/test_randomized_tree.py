@@ -1,0 +1,89 @@
+"""Unit tests for the randomized folding tree (§3.2)."""
+
+import pytest
+
+from repro.core.partition import Partition
+from repro.core.randomized import RandomizedFoldingTree
+from repro.mapreduce.combiners import SumCombiner
+
+from tests.conftest import leaf_seq, root_total
+
+
+def make_tree(**kwargs) -> RandomizedFoldingTree:
+    return RandomizedFoldingTree(SumCombiner(), **kwargs)
+
+
+def test_initial_run_root():
+    tree = make_tree()
+    root = tree.initial_run(leaf_seq(list(range(10))))
+    assert root_total(root) == sum(range(10))
+
+
+def test_empty_and_single():
+    assert not make_tree().initial_run([])
+    tree = make_tree()
+    assert root_total(tree.initial_run(leaf_seq([42]))) == 42
+
+
+def test_advance_matches_reference():
+    tree = make_tree()
+    values = list(range(20))
+    tree.initial_run(leaf_seq(values))
+    root = tree.advance(leaf_seq([100, 101]), removed=5)
+    expected = sum(values[5:]) + 201
+    assert root_total(root) == expected
+    assert root.entries == tree.reference_root().entries
+
+
+def test_shape_is_deterministic_for_seed():
+    a, b = make_tree(seed=7), make_tree(seed=7)
+    leaves = leaf_seq(list(range(50)))
+    a.initial_run(leaves)
+    b.initial_run(leaves)
+    assert a.height == b.height
+    assert a.root().uid == b.root().uid
+
+
+def test_height_tracks_current_window_size():
+    """Shrinking the window drastically shrinks the expected height —
+    the property the plain folding tree lacks (Figure 12)."""
+    tree = make_tree(seed=3)
+    tree.initial_run(leaf_seq(list(range(256))))
+    tall = tree.height
+    tree.advance([], removed=250)  # window of 6 leaves left
+    assert tree.height < tall
+    assert tree.height <= 8
+
+
+def test_incremental_update_reuses_interior_groups():
+    tree = make_tree(seed=5)
+    tree.initial_run(leaf_seq(list(range(128))))
+    before = tree.stats.combiner_invocations
+    tree.advance(leaf_seq([999]), removed=1)
+    recomputed = tree.stats.combiner_invocations - before
+    # Only edge groups and their ancestors: way below the ~127 group count.
+    assert recomputed < 40
+    assert tree.stats.combiner_reuses > 0
+
+
+def test_auto_gc_bounds_memo_size():
+    tree = make_tree(auto_gc=True)
+    tree.initial_run(leaf_seq(list(range(64))))
+    for i in range(10):
+        tree.advance(leaf_seq([1000 + i]), removed=1)
+    # Memo holds at most the live structure, not ten generations of it.
+    assert len(tree.memo) <= 4 * 64
+
+
+def test_remove_too_many_rejected():
+    tree = make_tree()
+    tree.initial_run(leaf_seq([1, 2]))
+    with pytest.raises(ValueError):
+        tree.advance([], removed=3)
+
+
+def test_duplicate_leaf_content_supported():
+    tree = make_tree()
+    dup = Partition({"total": 5})
+    root = tree.initial_run([dup, dup, dup])
+    assert root_total(root) == 15

@@ -1,0 +1,71 @@
+"""Unit tests for the strawman memoization tree (§2)."""
+
+import pytest
+
+from repro.core.strawman import StrawmanTree
+from repro.mapreduce.combiners import SumCombiner
+
+from tests.conftest import leaf_seq, root_total
+
+
+def make_tree(**kwargs) -> StrawmanTree:
+    return StrawmanTree(SumCombiner(), **kwargs)
+
+
+def test_initial_run_root():
+    tree = make_tree()
+    root = tree.initial_run(leaf_seq([1, 2, 3, 4, 5]))
+    assert root_total(root) == 15
+
+
+def test_empty_initial_run():
+    tree = make_tree()
+    assert not tree.initial_run([])
+
+
+def test_advance_appends_and_removes():
+    tree = make_tree()
+    tree.initial_run(leaf_seq([1, 2, 3]))
+    root = tree.advance(leaf_seq([10, 20]), removed=1)
+    assert root_total(root) == 2 + 3 + 10 + 20
+    assert root.entries == tree.reference_root().entries
+
+
+def test_remove_too_many_rejected():
+    tree = make_tree()
+    tree.initial_run(leaf_seq([1]))
+    with pytest.raises(ValueError):
+        tree.advance([], removed=2)
+
+
+def test_identical_rerun_reuses_everything():
+    """With no input change, every internal node is a memo hit."""
+    tree = make_tree()
+    tree.initial_run(leaf_seq([1, 2, 3, 4]))
+    invocations = tree.stats.combiner_invocations
+    tree.advance([], removed=0)
+    assert tree.stats.combiner_invocations == invocations
+    assert tree.stats.combiner_reuses >= 3
+
+
+def test_front_drop_recomputes_most_internal_nodes():
+    """A slide realigns pairing, defeating memoization (the §2 limitation)."""
+    n = 64
+    tree = make_tree()
+    tree.initial_run(leaf_seq(list(range(n))))
+    invocations_before = tree.stats.combiner_invocations
+    tree.advance(leaf_seq([1000]), removed=1)
+    recomputed = tree.stats.combiner_invocations - invocations_before
+    # Nearly all of the ~n internal nodes are recomputed, not O(log n).
+    assert recomputed > n / 2
+
+
+def test_append_only_is_cheap_for_strawman():
+    """Without front drops the pairing is stable: appends reuse the left side."""
+    n = 64
+    tree = make_tree()
+    tree.initial_run(leaf_seq(list(range(n))))
+    invocations_before = tree.stats.combiner_invocations
+    tree.advance(leaf_seq([1000, 1001]), removed=0)
+    recomputed = tree.stats.combiner_invocations - invocations_before
+    assert recomputed <= 10  # right-spine only

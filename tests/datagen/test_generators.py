@@ -1,0 +1,164 @@
+"""Unit tests for the synthetic data generators."""
+
+import pytest
+
+from repro.datagen.glasnost import (
+    TABLE3_MONTHLY_RUNS,
+    GlasnostTraceGenerator,
+)
+from repro.datagen.netsession import ClientLogGenerator
+from repro.datagen.points import PointGenerator
+from repro.datagen.text import TextCorpusGenerator
+from repro.datagen.twitter import TweetGenerator, TwitterGraph
+
+
+# -- text ---------------------------------------------------------------------
+
+
+def test_text_lines_are_deterministic():
+    a = TextCorpusGenerator(seed=4).lines(5)
+    b = TextCorpusGenerator(seed=4).lines(5)
+    assert a == b
+    assert TextCorpusGenerator(seed=5).lines(5) != a
+
+
+def test_text_words_follow_zipf_skew():
+    generator = TextCorpusGenerator(seed=1, vocabulary_size=500)
+    words = " ".join(generator.lines(300)).split()
+    counts = {}
+    for word in words:
+        counts[word] = counts.get(word, 0) + 1
+    top = max(counts.values())
+    assert top > len(words) / 20  # a heavy head exists
+    assert len(counts) > 50  # and a long tail
+
+
+def test_text_word_spelling_varies():
+    generator = TextCorpusGenerator(seed=1)
+    words = {generator.word(rank) for rank in range(100)}
+    first_letters = {w[0] for w in words}
+    lengths = {len(w) for w in words}
+    assert len(first_letters) > 5
+    assert len(lengths) > 1
+
+
+def test_text_validation():
+    with pytest.raises(ValueError):
+        TextCorpusGenerator(vocabulary_size=0)
+    with pytest.raises(ValueError):
+        TextCorpusGenerator(zipf_exponent=1.0)
+
+
+# -- points ---------------------------------------------------------------------
+
+
+def test_points_live_in_unit_cube():
+    generator = PointGenerator(seed=2, dimensions=10, clusters=3)
+    for point in generator.points(50):
+        assert len(point) == 10
+        assert all(0.0 <= x <= 1.0 for x in point)
+
+
+def test_clustered_points_concentrate_near_centers():
+    generator = PointGenerator(seed=2, dimensions=5, clusters=2, cluster_spread=0.01)
+    centers = generator.centers
+    for point in generator.points(20):
+        nearest = min(
+            sum((a - b) ** 2 for a, b in zip(point, c)) for c in centers
+        )
+        assert nearest < 0.05
+
+
+def test_points_validation():
+    with pytest.raises(ValueError):
+        PointGenerator(dimensions=0)
+
+
+# -- twitter ----------------------------------------------------------------------
+
+
+def test_graph_is_deterministic_and_heavy_tailed():
+    a = TwitterGraph(50, seed=3)
+    b = TwitterGraph(50, seed=3)
+    assert a.followees == b.followees
+    degrees = {}
+    for followees in a.followees.values():
+        for f in followees:
+            degrees[f] = degrees.get(f, 0) + 1
+    assert max(degrees.values()) >= 3  # preferential attachment hubs
+
+
+def test_graph_validation():
+    with pytest.raises(ValueError):
+        TwitterGraph(1)
+
+
+def test_retweets_follow_edges():
+    graph = TwitterGraph(60, seed=7)
+    generator = TweetGenerator(graph, num_urls=10, seed=7)
+    tweets = generator.tweets(300)
+    retweets = [t for t in tweets if t.source_user >= 0]
+    assert retweets, "cascades should form"
+    for tweet in retweets:
+        assert tweet.source_user in graph.followees.get(tweet.user, [])
+
+
+def test_tweet_timestamps_increase():
+    graph = TwitterGraph(20, seed=1)
+    tweets = TweetGenerator(graph, seed=1).tweets(50)
+    stamps = [t.timestamp for t in tweets]
+    assert stamps == sorted(stamps)
+
+
+# -- glasnost ----------------------------------------------------------------------
+
+
+def test_glasnost_runs_have_positive_rtts():
+    generator = GlasnostTraceGenerator(seed=5, packets_per_run=10)
+    runs = generator.month_of_runs(0, 20)
+    assert len(runs) == 20
+    for run in runs:
+        assert len(run.rtts_ms) == 10
+        assert run.min_rtt() > 0
+        assert run.month == 0
+
+
+def test_glasnost_table3_months_match_paper_windows():
+    # The derived monthly volumes must reproduce Table 3's window totals.
+    windows = [sum(TABLE3_MONTHLY_RUNS[k : k + 3]) for k in range(9)]
+    assert windows == [4033, 4862, 5627, 5358, 4715, 4325, 4384, 4777, 6536]
+
+
+def test_glasnost_hosts_are_unique():
+    generator = GlasnostTraceGenerator(seed=5)
+    runs = generator.month_of_runs(0, 10) + generator.month_of_runs(1, 10)
+    hosts = [run.host for run in runs]
+    assert len(set(hosts)) == len(hosts)
+
+
+# -- netsession -------------------------------------------------------------------
+
+
+def test_netsession_chains_continue_across_weeks():
+    generator = ClientLogGenerator(num_clients=3, entries_per_client=2, seed=9)
+    week0 = generator.week_of_logs(0)
+    week1 = generator.week_of_logs(1)
+    last_auth = {r.client: r.authenticator for r in week0 if r.sequence == 1}
+    first_prev = {r.client: r.prev_authenticator for r in week1 if r.sequence == 0}
+    assert first_prev == last_auth
+
+
+def test_netsession_online_fraction_shrinks_output():
+    generator = ClientLogGenerator(num_clients=200, entries_per_client=1, seed=9)
+    full = generator.week_of_logs(0, online_fraction=1.0)
+    partial = generator.week_of_logs(1, online_fraction=0.5)
+    assert len(full) == 200
+    assert 50 < len(partial) < 150
+
+
+def test_netsession_validation():
+    with pytest.raises(ValueError):
+        ClientLogGenerator(num_clients=0)
+    generator = ClientLogGenerator(num_clients=2)
+    with pytest.raises(ValueError):
+        generator.week_of_logs(0, online_fraction=1.5)

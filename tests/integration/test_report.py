@@ -1,0 +1,64 @@
+"""Tests for the report generator's table extraction."""
+
+import pytest
+
+from repro.bench.report import extract_tables
+
+FAKE_OUTPUT = """\
+===== test session starts =====
+collected 2 items
+
+Figure 7 (work) — Append-only (A): speedup vs recompute
+=======================================================
+change%  5      25
+-------  -----  ----
+kmeans   21.24  5.57
+.
+Table 1 — normalized run-time
+=============================
+app     normalized run-time
+------  -------------------
+kmeans  0.80
+
+----- benchmark: 2 tests -----
+Name (time in ms)   Min
+test_fig07          1.0
+===== 2 passed in 1.0s =====
+"""
+
+
+def test_extract_tables_keeps_experiment_rows():
+    report = extract_tables(FAKE_OUTPUT)
+    assert "Figure 7 (work)" in report
+    assert "kmeans   21.24" in report
+    assert "Table 1" in report
+    assert "kmeans  0.80" in report
+
+
+def test_extract_tables_drops_pytest_noise():
+    report = extract_tables(FAKE_OUTPUT)
+    assert "collected" not in report
+    assert "benchmark:" not in report
+    assert "passed" not in report
+    assert "test_fig07" not in report
+
+
+def test_extract_tables_separates_sections():
+    report = extract_tables(FAKE_OUTPUT)
+    sections = [s for s in report.split("\n\n") if s.strip()]
+    assert len(sections) == 2
+
+
+def test_run_benchmarks_raises_on_failure(tmp_path):
+    from repro.bench.report import run_benchmarks
+
+    bad = tmp_path / "test_fail.py"
+    # --benchmark-only skips plain failing tests, so use a benchmark whose
+    # shape assertion fails.
+    bad.write_text(
+        "def test_shape(benchmark):\n"
+        "    benchmark.pedantic(lambda: None, rounds=1, iterations=1)\n"
+        "    assert False, 'shape did not hold'\n"
+    )
+    with pytest.raises(RuntimeError):
+        run_benchmarks(str(tmp_path))

@@ -1,0 +1,145 @@
+"""Unit and property tests for the combiner library.
+
+Associativity (all combiners) and commutativity (all except ListConcat)
+are the algebraic contracts the contraction trees rely on; hypothesis
+checks them over random value multisets.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.combiners import (
+    CountCombiner,
+    KSmallestCombiner,
+    ListConcatCombiner,
+    MaxCombiner,
+    MeanCombiner,
+    MinCombiner,
+    SetUnionCombiner,
+    SumCombiner,
+    TopKCombiner,
+    VectorSumCombiner,
+)
+
+
+# -- unit behaviour ----------------------------------------------------------
+
+
+def test_sum_and_count():
+    assert SumCombiner().merge("k", [1, 2, 3]) == 6
+    assert CountCombiner().merge("k", [1, 1, 1]) == 3
+
+
+def test_min_max():
+    assert MinCombiner().merge("k", [3, 1, 2]) == 1
+    assert MaxCombiner().merge("k", [3, 1, 2]) == 3
+
+
+def test_mean_pairs():
+    combiner = MeanCombiner()
+    assert combiner.merge("k", [(1, 10.0), (2, 6.0)]) == (3, 16.0)
+
+
+def test_topk_keeps_largest():
+    combiner = TopKCombiner(k=2)
+    merged = combiner.merge("k", [((3.0, "a"),), ((5.0, "b"), (1.0, "c"))])
+    assert merged == ((5.0, "b"), (3.0, "a"))
+
+
+def test_topk_validation():
+    with pytest.raises(ValueError):
+        TopKCombiner(k=0)
+
+
+def test_ksmallest_keeps_smallest():
+    combiner = KSmallestCombiner(k=2)
+    merged = combiner.merge("k", [((3.0, "a"),), ((5.0, "b"), (1.0, "c"))])
+    assert merged == ((1.0, "c"), (3.0, "a"))
+
+
+def test_ksmallest_validation():
+    with pytest.raises(ValueError):
+        KSmallestCombiner(k=-1)
+
+
+def test_set_union():
+    combiner = SetUnionCombiner()
+    merged = combiner.merge("k", [frozenset({1}), frozenset({2, 3})])
+    assert merged == frozenset({1, 2, 3})
+    assert combiner.value_size(merged) == 3.0
+
+
+def test_list_concat_not_commutative():
+    combiner = ListConcatCombiner()
+    assert not combiner.commutative
+    assert combiner.merge("k", [(1, 2), (3,)]) == (1, 2, 3)
+
+
+def test_vector_sum():
+    combiner = VectorSumCombiner()
+    merged = combiner.merge("k", [(1, (1.0, 2.0)), (2, (3.0, 4.0))])
+    assert merged == (3, (4.0, 6.0))
+
+
+def test_vector_sum_empty_values():
+    assert VectorSumCombiner().merge("k", [(0, ())]) == (0, ())
+
+
+def test_merge_cost_scales_with_input_size():
+    combiner = KSmallestCombiner(k=10)
+    small = combiner.merge_cost("k", [((1.0, "a"),)] * 2)
+    large = combiner.merge_cost("k", [((1.0, "a"), (2.0, "b"), (3.0, "c"))] * 4)
+    assert large > small
+
+
+# -- algebraic contracts (property-based) -----------------------------------
+
+numeric_values = st.integers(-1000, 1000)
+entry_lists = st.lists(
+    st.tuples(st.floats(0, 100), st.text(max_size=3)), max_size=4
+).map(tuple)
+set_values = st.frozensets(st.integers(0, 20), max_size=5)
+mean_values = st.tuples(st.integers(1, 10), st.integers(-100, 100))
+vector_values = st.tuples(
+    st.integers(1, 5),
+    st.tuples(st.integers(-10, 10), st.integers(-10, 10)).map(
+        lambda t: (float(t[0]), float(t[1]))
+    ),
+)
+
+CASES = [
+    (SumCombiner(), numeric_values),
+    (MinCombiner(), numeric_values),
+    (MaxCombiner(), numeric_values),
+    (MeanCombiner(), mean_values),
+    (TopKCombiner(3), entry_lists),
+    (KSmallestCombiner(3), entry_lists),
+    (SetUnionCombiner(), set_values),
+    (VectorSumCombiner(), vector_values),
+]
+
+
+@pytest.mark.parametrize(
+    "combiner,strategy", CASES, ids=lambda c: type(c).__name__
+)
+def test_associativity(combiner, strategy):
+    @given(a=strategy, b=strategy, c=strategy)
+    def check(a, b, c):
+        left = combiner.merge("k", [combiner.merge("k", [a, b]), c])
+        right = combiner.merge("k", [a, combiner.merge("k", [b, c])])
+        assert left == right
+
+    check()
+
+
+@pytest.mark.parametrize(
+    "combiner,strategy",
+    [case for case in CASES if case[0].commutative],
+    ids=lambda c: type(c).__name__,
+)
+def test_commutativity(combiner, strategy):
+    @given(a=strategy, b=strategy)
+    def check(a, b):
+        assert combiner.merge("k", [a, b]) == combiner.merge("k", [b, a])
+
+    check()

@@ -1,0 +1,163 @@
+"""Unit tests for splits, windows, partitioning, and map-task execution."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import CostModel, MapReduceJob
+from repro.mapreduce.shuffle import (
+    HashPartitioner,
+    run_map_task,
+    shuffle_map_outputs,
+)
+from repro.mapreduce.types import Split, SplitWindow, make_splits
+from repro.metrics import Phase, WorkMeter
+
+
+# -- splits ------------------------------------------------------------------
+
+
+def test_split_uid_is_content_based():
+    a = Split.from_records(["x", "y"], label="s")
+    b = Split.from_records(["x", "y"], label="s")
+    assert a.uid == b.uid
+
+
+def test_split_uid_depends_on_label_and_content():
+    base = Split.from_records(["x"], label="s")
+    assert base.uid != Split.from_records(["x"], label="t").uid
+    assert base.uid != Split.from_records(["y"], label="s").uid
+
+
+def test_make_splits_chops_evenly():
+    splits = make_splits(list(range(10)), split_size=3)
+    assert [len(s) for s in splits] == [3, 3, 3, 1]
+    assert splits[0].records == (0, 1, 2)
+
+
+def test_make_splits_validation():
+    with pytest.raises(ValueError):
+        make_splits([1], split_size=0)
+
+
+# -- windows -----------------------------------------------------------------
+
+
+def test_window_append_and_drop():
+    window = SplitWindow()
+    splits = make_splits(list(range(6)), 2)
+    window.append(splits)
+    assert len(window) == 3
+    dropped = window.drop_front(2)
+    assert dropped == splits[:2]
+    assert list(window) == splits[2:]
+    assert window.total_records() == 2
+
+
+def test_window_drop_validation():
+    window = SplitWindow()
+    window.append(make_splits([1, 2], 1))
+    with pytest.raises(ValueError):
+        window.drop_front(3)
+    with pytest.raises(ValueError):
+        window.drop_front(-1)
+
+
+# -- partitioner ---------------------------------------------------------------
+
+
+def test_partitioner_is_stable_and_in_range():
+    partitioner = HashPartitioner(4)
+    for key in ["a", "b", ("x", 1), 42]:
+        p = partitioner.partition(key)
+        assert 0 <= p < 4
+        assert p == partitioner.partition(key)
+
+
+def test_partitioner_spreads_keys():
+    partitioner = HashPartitioner(4)
+    buckets = {partitioner.partition(f"key{i}") for i in range(100)}
+    assert buckets == {0, 1, 2, 3}
+
+
+def test_partitioner_validation():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+
+
+# -- map task -------------------------------------------------------------------
+
+
+def word_job():
+    return MapReduceJob(
+        name="wc",
+        map_fn=lambda line: [(w, 1) for w in line.split()],
+        combiner=SumCombiner(),
+        num_reducers=2,
+        costs=CostModel(map_cost_per_record=2.0),
+    )
+
+
+def test_run_map_task_partitions_by_key():
+    job = word_job()
+    partitioner = HashPartitioner(2)
+    outputs = run_map_task(job, ["a b a"], partitioner)
+    assert len(outputs) == 2
+    merged = {}
+    for part in outputs:
+        merged.update(part.entries)
+    assert merged == {"a": 2, "b": 1}
+
+
+def test_run_map_task_charges_meter():
+    job = word_job()
+    meter = WorkMeter()
+    run_map_task(job, ["a b", "c d"], HashPartitioner(2), meter)
+    assert meter.by_phase[Phase.MAP] == 4.0  # 2 records x cost 2
+    assert meter.by_phase[Phase.SHUFFLE] > 0
+
+
+def test_shuffle_transposes_outputs():
+    job = word_job()
+    partitioner = HashPartitioner(2)
+    m0 = run_map_task(job, ["a"], partitioner)
+    m1 = run_map_task(job, ["b"], partitioner)
+    per_reducer = shuffle_map_outputs([m0, m1], 2)
+    assert len(per_reducer) == 2
+    assert len(per_reducer[0]) == 2  # one leaf per map task, in order
+    assert per_reducer[0][0] is m0[0]
+    assert per_reducer[1][1] is m1[1]
+
+
+def test_shuffle_validates_partition_count():
+    with pytest.raises(ValueError):
+        shuffle_map_outputs([[None]], 2)
+
+
+# -- job validation ---------------------------------------------------------------
+
+
+def test_job_requires_positive_reducers():
+    with pytest.raises(ValueError):
+        MapReduceJob(
+            name="bad",
+            map_fn=lambda r: [],
+            combiner=SumCombiner(),
+            num_reducers=0,
+        )
+
+
+def test_job_requires_associative_combiner():
+    class Broken(SumCombiner):
+        associative = False
+
+    with pytest.raises(ValueError):
+        MapReduceJob(name="bad", map_fn=lambda r: [], combiner=Broken())
+
+
+def test_with_reducers_copies_job():
+    job = word_job()
+    wider = job.with_reducers(8)
+    assert wider.num_reducers == 8
+    assert wider.name == job.name
+    assert job.num_reducers == 2

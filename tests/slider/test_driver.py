@@ -1,0 +1,108 @@
+"""Tests for the time-based StreamDriver."""
+
+import pytest
+
+from repro.common.errors import WindowError
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import MapReduceJob
+from repro.slider.driver import StreamDriver
+
+
+def count_job() -> MapReduceJob:
+    # Records are (timestamp, key); count occurrences per key.
+    return MapReduceJob(
+        name="event-count",
+        map_fn=lambda record: [(record[1], 1)],
+        combiner=SumCombiner(),
+        num_reducers=2,
+    )
+
+
+def make_driver(**kwargs) -> StreamDriver:
+    defaults = dict(
+        job=count_job(),
+        timestamp_fn=lambda record: record[0],
+        slide=10.0,
+        window=30.0,
+        split_size=4,
+    )
+    defaults.update(kwargs)
+    return StreamDriver(**defaults)
+
+
+def events(start, end, key, step=1.0):
+    t = start
+    while t < end:
+        yield (t, key)
+        t += step
+
+
+def test_validation():
+    with pytest.raises(WindowError):
+        make_driver(slide=0)
+    with pytest.raises(WindowError):
+        make_driver(window=-5.0)
+    with pytest.raises(WindowError):
+        make_driver(window=5.0, slide=10.0)
+
+
+def test_no_result_until_first_boundary():
+    driver = make_driver()
+    produced = driver.feed(events(0, 9, "a"))
+    assert produced == []
+    assert driver.current_outputs() == {}
+
+
+def test_first_boundary_triggers_initial_run():
+    driver = make_driver()
+    produced = driver.feed(list(events(0, 9, "a")) + [(11.0, "b")])
+    assert len(produced) == 1
+    assert produced[0].outputs == {"a": 9}
+
+
+def test_window_contents_match_duration():
+    driver = make_driver()  # window 30, slide 10
+    # Four slides of 10 distinct keys each; window holds last 3 slides.
+    stream = (
+        list(events(0, 10, "s0"))
+        + list(events(10, 20, "s1"))
+        + list(events(20, 30, "s2"))
+        + list(events(30, 40, "s3"))
+        + [(41.0, "s4")]  # pushes the 30-40 slide closed
+    )
+    produced = driver.feed(stream)
+    final = produced[-1].outputs
+    assert "s0" not in final  # expired
+    assert final == {"s1": 10, "s2": 10, "s3": 10}
+
+
+def test_append_only_mode_never_expires():
+    driver = make_driver(window=None)
+    stream = list(events(0, 10, "s0")) + list(events(10, 20, "s1")) + [(21.0, "x")]
+    produced = driver.feed(stream)
+    assert produced[-1].outputs == {"s0": 10, "s1": 10}
+    assert driver.mode.value == "append"
+
+
+def test_flush_emits_pending_records():
+    driver = make_driver()
+    driver.feed(list(events(0, 9, "a")) + [(11.0, "b")])
+    result = driver.flush()
+    assert result is not None
+    assert result.outputs == {"a": 9, "b": 1}
+
+
+def test_empty_slide_is_handled():
+    driver = make_driver()
+    # A gap of several slides with no records at all.
+    produced = driver.feed([(5.0, "a"), (35.0, "b")])
+    # Boundaries at 10, 20, 30 all closed; the first produced the initial run.
+    assert len(produced) == 3
+    assert produced[-1].outputs == {"a": 1}
+
+
+def test_results_accumulate_reports():
+    driver = make_driver()
+    driver.feed(list(events(0, 25, "k")) + [(31.0, "k")])
+    assert len(driver.results) == 3
+    assert all(r.report.work >= 0 for r in driver.results)

@@ -1,0 +1,70 @@
+"""Tests for the output-delta reporting (changed/removed keys)."""
+
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import Split
+from repro.slider.system import Slider
+from repro.slider.window import WindowMode
+
+
+def count_job():
+    return MapReduceJob(
+        name="counts",
+        map_fn=lambda record: [(record, 1)],
+        combiner=SumCombiner(),
+        num_reducers=2,
+    )
+
+
+def split_of(records, label):
+    return Split.from_records(records, label=label)
+
+
+def test_initial_run_reports_all_keys_changed():
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    result = slider.initial_run([split_of(["a", "b"], "s0")])
+    assert result.changed_keys == {"a", "b"}
+    assert result.removed_keys == frozenset()
+
+
+def test_append_reports_only_affected_keys():
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    slider.initial_run([split_of(["a", "b"], "s0")])
+    result = slider.advance([split_of(["b", "c"], "s1")], 0)
+    # 'a' is untouched, 'b' changed count, 'c' is new.
+    assert result.changed_keys == {"b", "c"}
+    assert result.removed_keys == frozenset()
+    assert result.outputs == {"a": 1, "b": 2, "c": 1}
+
+
+def test_removal_reports_disappearing_keys():
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    slider.initial_run([split_of(["a"], "s0"), split_of(["b"], "s1")])
+    result = slider.advance([], removed=1)  # drops the 'a' split
+    assert result.removed_keys == {"a"}
+    assert "a" not in result.outputs
+    assert result.changed_keys == frozenset()
+
+
+def test_no_change_reports_empty_delta():
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    slider.initial_run([split_of(["a", "b"], "s0")])
+    result = slider.advance([], 0)
+    assert result.changed_keys == frozenset()
+    assert result.removed_keys == frozenset()
+
+
+def test_delta_composes_to_full_output():
+    """Applying the deltas to the previous output reproduces the new one."""
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    previous = slider.initial_run(
+        [split_of(["a", "b"], "s0"), split_of(["b", "c"], "s1")]
+    ).outputs
+    result = slider.advance([split_of(["c", "d"], "s2")], removed=1)
+
+    patched = dict(previous)
+    for key in result.removed_keys:
+        patched.pop(key, None)
+    for key in result.changed_keys:
+        patched[key] = result.outputs[key]
+    assert patched == result.outputs

@@ -1,0 +1,235 @@
+"""Integration tests: the Slider engine end to end on a word-count job."""
+
+import pytest
+
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.common.errors import WindowError
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import make_splits
+from repro.slider.baseline import VanillaRunner
+from repro.slider.system import Slider, SliderConfig
+from repro.slider.window import WindowMode
+
+
+def word_count_job(num_reducers=3) -> MapReduceJob:
+    return MapReduceJob(
+        name="wordcount",
+        map_fn=lambda line: [(word, 1) for word in line.split()],
+        combiner=SumCombiner(),
+        num_reducers=num_reducers,
+    )
+
+
+def lines(*texts):
+    return list(texts)
+
+
+def expected_counts(all_lines):
+    counts = {}
+    for line in all_lines:
+        for word in line.split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+CORPUS = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "a quick brown dog",
+    "foxes and dogs play",
+    "the fox sleeps",
+    "dogs bark at the fox",
+    "quick foxes jump",
+]
+
+
+@pytest.mark.parametrize("mode", list(WindowMode))
+def test_initial_run_matches_vanilla(mode):
+    job = word_count_job()
+    splits = make_splits(CORPUS[:4], split_size=1)
+    slider = Slider(job, mode=mode)
+    vanilla = VanillaRunner(job, mode=mode)
+    assert (
+        slider.initial_run(splits).outputs == vanilla.initial_run(splits).outputs
+    )
+
+
+@pytest.mark.parametrize("mode", list(WindowMode))
+def test_advance_matches_vanilla(mode):
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, mode=mode)
+    vanilla = VanillaRunner(job, mode=mode)
+    slider.initial_run(splits[:4])
+    vanilla.initial_run(splits[:4])
+
+    removed = {WindowMode.APPEND: 0, WindowMode.FIXED: 2, WindowMode.VARIABLE: 1}[
+        mode
+    ]
+    added = splits[4:6]
+    assert (
+        slider.advance(added, removed).outputs
+        == vanilla.advance(added, removed).outputs
+    )
+
+
+def test_variable_mode_multiple_slides_stay_correct():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, mode=WindowMode.VARIABLE)
+    slider.initial_run(splits[:3])
+    window = list(splits[:3])
+
+    schedule = [(splits[3:5], 1), (splits[5:6], 2), (splits[6:8], 0)]
+    for added, removed in schedule:
+        window = window[removed:] + list(added)
+        result = slider.advance(added, removed)
+        expected = expected_counts(
+            [line for split in window for line in split.records]
+        )
+        assert result.outputs == expected
+
+
+def test_incremental_run_cheaper_than_vanilla():
+    job = word_count_job()
+    splits = make_splits(CORPUS * 32, split_size=1)  # 256 splits
+    slider = Slider(job, mode=WindowMode.VARIABLE)
+    vanilla = VanillaRunner(job)
+    slider.initial_run(splits[:250])
+    vanilla.initial_run(splits[:250])
+
+    s = slider.advance(splits[250:252], 2)
+    v = vanilla.advance(splits[250:252], 2)
+    assert s.outputs == v.outputs
+    assert s.report.work < v.report.work / 2
+    # Map-side savings are near total: 2 new tasks vs 250.
+    assert s.report.breakdown["map"] < v.report.breakdown["map"] / 50
+
+
+def test_map_tasks_reused_across_runs():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, mode=WindowMode.VARIABLE)
+    slider.initial_run(splits[:4])
+    result = slider.advance(splits[4:6], 1)
+    assert result.new_map_tasks == 2
+    # Re-adding an already-seen split reuses its map output.
+    result = slider.advance([splits[0]], 1)
+    # splits[0] fell out of the window and was GC'd, so it re-runs.
+    assert result.new_map_tasks in (0, 1)
+
+
+def test_fixed_mode_rejects_unbalanced_slide():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, mode=WindowMode.FIXED)
+    slider.initial_run(splits[:4])
+    with pytest.raises(WindowError):
+        slider.advance(splits[4:6], 1)
+
+
+def test_append_mode_rejects_removal():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, mode=WindowMode.APPEND)
+    slider.initial_run(splits[:4])
+    with pytest.raises(WindowError):
+        slider.advance(splits[4:5], 1)
+
+
+def test_advance_before_initial_rejected():
+    slider = Slider(word_count_job())
+    with pytest.raises(WindowError):
+        slider.advance([], 0)
+
+
+def test_double_initial_rejected():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job)
+    slider.initial_run(splits[:2])
+    with pytest.raises(WindowError):
+        slider.initial_run(splits[:2])
+
+
+def test_strawman_variant_correct_but_slower_on_slides():
+    job = word_count_job()
+    splits = make_splits(CORPUS * 32, split_size=1)
+    config_strawman = SliderConfig(mode=WindowMode.VARIABLE, tree="strawman")
+    strawman = Slider(job, WindowMode.VARIABLE, config=config_strawman)
+    folding = Slider(job, WindowMode.VARIABLE)
+    strawman.initial_run(splits[:250])
+    folding.initial_run(splits[:250])
+
+    s = strawman.advance(splits[250:252], 2)
+    f = folding.advance(splits[250:252], 2)
+    assert s.outputs == f.outputs
+    assert f.report.work < s.report.work
+
+
+def test_randomized_variant_correct():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    config = SliderConfig(mode=WindowMode.VARIABLE, tree="randomized", seed=11)
+    slider = Slider(job, WindowMode.VARIABLE, config=config)
+    vanilla = VanillaRunner(job)
+    slider.initial_run(splits[:5])
+    vanilla.initial_run(splits[:5])
+    assert (
+        slider.advance(splits[5:7], 3).outputs
+        == vanilla.advance(splits[5:7], 3).outputs
+    )
+
+
+def test_cluster_time_simulation_produces_finite_time():
+    job = word_count_job()
+    splits = make_splits(CORPUS * 4, split_size=1)
+    cluster = Cluster(ClusterConfig(num_machines=8, straggler_fraction=0.0))
+    slider = Slider(job, WindowMode.VARIABLE, cluster=cluster)
+    result = slider.initial_run(splits[:24])
+    assert 0 < result.report.time < result.report.work
+    result = slider.advance(splits[24:26], 2)
+    assert result.report.time > 0
+
+
+def test_background_preprocess_charges_background_phase():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    config = SliderConfig(mode=WindowMode.FIXED, split_mode=True)
+    slider = Slider(job, WindowMode.FIXED, config=config)
+    slider.initial_run(splits[:4])
+    charged = slider.background_preprocess()
+    assert charged > 0
+    result = slider.advance(splits[4:6], 2)
+    window_lines = [
+        line for split in splits[2:6] for line in split.records
+    ]
+    assert result.outputs == expected_counts(window_lines)
+
+
+def test_gc_drops_out_of_window_map_outputs():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, WindowMode.VARIABLE)
+    slider.initial_run(splits[:4])
+    slider.advance(splits[4:6], 4)
+    live = {split.uid for split in slider.window}
+    assert set(slider._map_memo) == live
+
+
+def test_space_accounting_positive_after_runs():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, WindowMode.VARIABLE)
+    slider.initial_run(splits[:4])
+    assert slider.space() > 0
+
+
+def test_current_outputs_matches_last_run():
+    job = word_count_job()
+    splits = make_splits(CORPUS, split_size=1)
+    slider = Slider(job, WindowMode.VARIABLE)
+    result = slider.initial_run(splits[:4])
+    assert slider.current_outputs() == result.outputs

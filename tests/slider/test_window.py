@@ -1,0 +1,36 @@
+"""Unit tests for window modes and delta validation."""
+
+import pytest
+
+from repro.common.errors import WindowError
+from repro.slider.window import WindowDelta, WindowMode
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(WindowError):
+        WindowDelta(-1, 0).validate(WindowMode.VARIABLE, 10)
+    with pytest.raises(WindowError):
+        WindowDelta(0, -1).validate(WindowMode.VARIABLE, 10)
+
+
+def test_remove_bounded_by_window():
+    with pytest.raises(WindowError):
+        WindowDelta(0, 11).validate(WindowMode.VARIABLE, 10)
+    WindowDelta(0, 10).validate(WindowMode.VARIABLE, 10)  # exactly empties
+
+
+def test_append_mode_forbids_removal():
+    with pytest.raises(WindowError):
+        WindowDelta(2, 1).validate(WindowMode.APPEND, 10)
+    WindowDelta(5, 0).validate(WindowMode.APPEND, 10)
+
+
+def test_fixed_mode_requires_balance():
+    with pytest.raises(WindowError):
+        WindowDelta(2, 3).validate(WindowMode.FIXED, 10)
+    WindowDelta(3, 3).validate(WindowMode.FIXED, 10)
+
+
+def test_variable_mode_accepts_any_legal_delta():
+    WindowDelta(7, 2).validate(WindowMode.VARIABLE, 10)
+    WindowDelta(0, 0).validate(WindowMode.VARIABLE, 10)
