@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.apps.registry import APP_REGISTRY
 from repro.bench.format import format_table
-from repro.bench.harness import SlideSchedule, run_experiment
+from repro.bench.harness import SlideSchedule
 from repro.core.folding import FoldingTree
 from repro.core.partition import Partition
 from repro.mapreduce.combiners import SumCombiner
@@ -76,9 +76,6 @@ def test_ablation_rebuild_factor(benchmark):
         tree = FoldingTree(SumCombiner(), rebuild_factor=rebuild_factor)
         tree.initial_run(_leaves(range(128)))
         tree.advance(_leaves([1], tag=1), removed=120)  # drastic shrink
-        rebuild_cost = 0.0
-        if rebuild_factor is not None:
-            rebuild_cost = tree.meter.total()
         before = tree.meter.total()
         for step in range(10):
             tree.advance(_leaves([step], tag=2 + step), removed=1)

@@ -14,7 +14,6 @@ import pytest
 from conftest import CHANGE_PERCENTS, MODE_LABELS, MODES, WINDOW_SPLITS
 from repro.bench.format import format_series
 from repro.bench.harness import SlideSchedule, make_cluster, run_change_sweep, run_experiment
-from repro.slider.window import WindowMode
 
 
 @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)

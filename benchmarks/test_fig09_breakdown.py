@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import MODES, WINDOW_SPLITS
+from conftest import WINDOW_SPLITS
 from repro.bench.format import format_table
 from repro.bench.harness import SlideSchedule, run_experiment
 from repro.slider.window import WindowMode

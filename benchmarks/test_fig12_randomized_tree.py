@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import statistics
 
-import pytest
 
 from repro.apps.registry import APP_REGISTRY
 from repro.bench.format import format_table

@@ -17,7 +17,6 @@ from typing import Sequence
 from repro.apps.registry import AppSpec
 from repro.cluster.machine import Cluster, ClusterConfig
 from repro.cluster.scheduler import HadoopScheduler, HybridScheduler
-from repro.mapreduce.types import Split
 from repro.metrics import RunReport
 from repro.slider.baseline import VanillaRunner
 from repro.slider.system import Slider, SliderConfig

@@ -7,8 +7,14 @@ architecture adds or depends on:
 * machines with task slots and heterogeneous speeds (stragglers);
 * schedulers — the vanilla Hadoop scheduler, a strict memoization-aware
   scheduler, and Slider's hybrid scheduler with straggler migration;
+* an event-driven task-attempt executor with mid-wave fault tolerance:
+  heartbeat-based crash detection, retries with exponential backoff, and
+  LATE-style speculative execution;
+* a chaos layer of declarative, seeded fault schedules (crashes,
+  transient attempt failures, straggle episodes);
 * the in-memory distributed memoization cache with its master index,
-  fault-tolerant replicated persistence, and shim I/O layer;
+  fault-tolerant replicated persistence, shim I/O layer, and replica
+  repair after crashes;
 * a garbage collector bounding memoization storage;
 * fault injection (machine crashes) to exercise the fault-tolerance path.
 """
@@ -18,6 +24,24 @@ from repro.cluster.cache import (
     DistributedMemoCache,
     GarbageCollector,
     ReadStats,
+)
+from repro.cluster.chaos import (
+    ChaosPlan,
+    ChaosSchedule,
+    MachineCrash,
+    StraggleEpisode,
+    TransientFaults,
+)
+from repro.cluster.executor import (
+    AttemptState,
+    ExecutionReport,
+    ExecutorConfig,
+    ExecutorHooks,
+    RecoveryStats,
+    TaskAttempt,
+    WaveExecutor,
+    execute_two_waves,
+    execute_wave,
 )
 from repro.cluster.machine import Cluster, ClusterConfig, Machine
 from repro.cluster.scheduler import (
@@ -36,6 +60,20 @@ __all__ = [
     "DistributedMemoCache",
     "GarbageCollector",
     "ReadStats",
+    "ChaosPlan",
+    "ChaosSchedule",
+    "MachineCrash",
+    "StraggleEpisode",
+    "TransientFaults",
+    "AttemptState",
+    "ExecutionReport",
+    "ExecutorConfig",
+    "ExecutorHooks",
+    "RecoveryStats",
+    "TaskAttempt",
+    "WaveExecutor",
+    "execute_wave",
+    "execute_two_waves",
     "Cluster",
     "ClusterConfig",
     "Machine",

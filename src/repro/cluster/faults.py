@@ -38,11 +38,20 @@ class FaultPlan:
         limit = max_concurrent if max_concurrent is not None else 1
         crashes: dict[int, list[int]] = {}
         for run_index in range(runs):
-            victims = [
+            flipped = [
                 m.machine_id
                 for m in cluster.machines
                 if rng.coin(crash_probability)
-            ][:limit]
+            ]
+            # Truncating the flip survivors with [:limit] would always
+            # kill the lowest-numbered machines; pick uniformly instead.
+            if len(flipped) > limit:
+                victims = sorted(
+                    int(v)
+                    for v in rng.choice(flipped, size=limit, replace=False)
+                )
+            else:
+                victims = flipped
             if victims:
                 crashes[run_index] = victims
         return FaultPlan(crashes)

@@ -8,7 +8,8 @@ deterministically from the cluster RNG so experiments are reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
 from repro.common.errors import SchedulingError
 from repro.common.rng import RngStream
@@ -80,13 +81,32 @@ class Cluster:
         return alive
 
     def machine(self, machine_id: int) -> Machine:
+        self._check_id(machine_id)
         return self.machines[machine_id]
 
     def kill(self, machine_id: int) -> None:
+        self._check_id(machine_id)
         self.machines[machine_id].alive = False
 
     def revive(self, machine_id: int) -> None:
+        self._check_id(machine_id)
+        if self.machines[machine_id].alive:
+            warnings.warn(
+                f"revive({machine_id}): machine is already alive",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
         self.machines[machine_id].alive = True
+
+    def _check_id(self, machine_id: int) -> None:
+        if not isinstance(machine_id, int) or not (
+            0 <= machine_id < len(self.machines)
+        ):
+            raise SchedulingError(
+                f"unknown machine id {machine_id!r} "
+                f"(cluster has machines 0..{len(self.machines) - 1})"
+            )
 
     def __len__(self) -> int:
         return len(self.machines)
@@ -94,15 +114,19 @@ class Cluster:
     # -- stragglers --------------------------------------------------------
 
     def assign_stragglers(self) -> list[int]:
-        """(Re)sample which machines straggle this run; returns their ids."""
+        """(Re)sample which machines straggle this run; returns their ids.
+
+        Dead machines are skipped: they cannot run tasks, so marking them
+        as stragglers would silently waste the straggler budget.
+        """
         for machine in self.machines:
             machine.straggle = 1.0
+        candidates = [m.machine_id for m in self.machines if m.alive]
         count = int(round(self.config.straggler_fraction * len(self.machines)))
+        count = min(count, len(candidates))
         if count == 0:
             return []
-        chosen = self._rng.choice(
-            [m.machine_id for m in self.machines], size=count, replace=False
-        )
+        chosen = self._rng.choice(candidates, size=count, replace=False)
         ids = [int(i) for i in chosen]
         for machine_id in ids:
             self.machines[machine_id].straggle = self.config.straggler_slowdown

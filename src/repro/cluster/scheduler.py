@@ -22,7 +22,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.cluster.machine import Cluster, Machine
+from repro.cluster.machine import Cluster
 from repro.cluster.simulation import EventQueue
 
 
@@ -200,34 +200,19 @@ def simulate_wave(
     scheduler: Scheduler,
     start_time: float = 0.0,
 ) -> tuple[float, list[Assignment]]:
-    """Greedy list scheduling of one task wave; returns (makespan, log)."""
-    free_times: list[list[float]] = [
-        [start_time] * machine.slots if machine.alive else []
-        for machine in cluster.machines
-    ]
-    assignments: list[Assignment] = []
-    finish_time = start_time
+    """One fault-free task wave; returns (makespan, log).
 
-    # Longest-processing-time order: a standard, deterministic heuristic.
-    ordered = sorted(tasks, key=lambda t: (-t.cost, t.label))
-    for task in ordered:
-        machine_id, slot_index = scheduler.choose(task, free_times, cluster)
-        machine = cluster.machine(machine_id)
-        start = free_times[machine_id][slot_index]
-        fetched = (
-            task.preferred_machine is not None
-            and task.preferred_machine != machine_id
-        )
-        duration = machine.duration_for(task.cost)
-        if fetched:
-            duration += task.fetch_bytes * cluster.config.network_cost_per_byte
-        finish = start + duration
-        free_times[machine_id][slot_index] = finish
-        assignments.append(
-            Assignment(task, machine_id, start, finish, fetched)
-        )
-        finish_time = max(finish_time, finish)
-    return finish_time, assignments
+    Thin wrapper over the event-driven executor
+    (:mod:`repro.cluster.executor`) with an empty fault schedule, which
+    reproduces the greedy list-scheduling plan exactly: tasks are
+    considered in longest-processing-time order and each policy's
+    ``choose()`` sees the same projected free-time matrix the greedy
+    planner used.
+    """
+    from repro.cluster.executor import WaveExecutor
+
+    executor = WaveExecutor(cluster, scheduler, start_time=start_time)
+    return executor.run(tasks)
 
 
 def simulate_two_waves(
@@ -237,15 +222,17 @@ def simulate_two_waves(
     scheduler: Scheduler,
 ) -> tuple[float, list[Assignment]]:
     """Maps, a shuffle barrier, then reduces — one MapReduce job's time."""
-    map_finish, map_log = simulate_wave(map_tasks, cluster, scheduler)
-    reduce_finish, reduce_log = simulate_wave(
-        reduce_tasks, cluster, scheduler, start_time=map_finish
-    )
+    from repro.cluster.executor import WaveExecutor
+
+    executor = WaveExecutor(cluster, scheduler)
+    map_finish, map_log = executor.run(map_tasks)
+    reduce_finish, reduce_log = executor.run(reduce_tasks)
     return reduce_finish, map_log + reduce_log
 
 
-# The EventQueue is used by the fault injector to schedule crashes between
-# waves; re-exported here for convenience.
+# The EventQueue/SimClock pair is driven by repro.cluster.executor, which
+# turns these policies' plans into fault-tolerant attempt execution
+# (mid-wave crashes, retries, speculation); re-exported for convenience.
 __all__ = [
     "SimTask",
     "Assignment",

@@ -30,6 +30,22 @@ class WindowError(ReproError):
     """
 
 
+class TaskFailedError(SchedulingError):
+    """A task exhausted its attempt budget and cannot complete.
+
+    Raised by the event-driven executor when every attempt of a task was
+    lost to machine crashes or transient failures, ``max_attempts`` times
+    in a row.  Carries the task label and the attempt count.
+    """
+
+    def __init__(self, label: str, attempts: int) -> None:
+        super().__init__(
+            f"task {label!r} failed permanently after {attempts} attempts"
+        )
+        self.label = label
+        self.attempts = attempts
+
+
 class CacheMissError(ReproError):
     """A memoized object was requested but is not present in any layer."""
 

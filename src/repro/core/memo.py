@@ -10,7 +10,7 @@ distributed in-memory cache and its fault-tolerant replicas (§6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 from repro.core.partition import Partition
 from repro.metrics import Phase, WorkMeter

@@ -93,6 +93,10 @@ class RunReport:
     time: float
     space: float = 0.0
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: Fault-tolerance cost of the run, populated when executing under a
+    #: chaos schedule: re-executed attempts, detection delay, speculative
+    #: waste (see RecoveryStats.as_dict) plus re-replication traffic.
+    recovery: dict[str, float] = field(default_factory=dict)
 
     def speedup_over(self, baseline: "RunReport") -> "Speedup":
         """Speedup of *this* run relative to ``baseline``-as-the-slow-case.

@@ -8,7 +8,7 @@ combiner that contracts values, and the Reduce-side finalizer.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable
+from typing import Any
 
 from repro.mapreduce.combiners import (
     Combiner,

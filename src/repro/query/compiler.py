@@ -12,8 +12,8 @@ stage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.common.errors import QueryCompilationError
 from repro.mapreduce.combiners import MaxCombiner, TopKCombiner

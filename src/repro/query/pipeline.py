@@ -18,7 +18,6 @@ from typing import Any, Sequence
 from repro.common.hashing import stable_hash
 from repro.core.partition import Partition
 from repro.core.strawman import StrawmanTree
-from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import BatchRuntime, reduce_partition
 from repro.mapreduce.shuffle import HashPartitioner, run_map_task
 from repro.mapreduce.types import Split

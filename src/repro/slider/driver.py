@@ -11,7 +11,7 @@ splits is not guaranteed, so the driver runs in VARIABLE (or APPEND) mode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable
 
 from repro.common.errors import WindowError
 from repro.mapreduce.job import MapReduceJob
@@ -51,6 +51,8 @@ class StreamDriver:
         split_size: int = 100,
         slider_config: SliderConfig | None = None,
         cluster=None,
+        chaos=None,
+        executor_config=None,
     ) -> None:
         if slide <= 0:
             raise WindowError(f"slide must be positive, got {slide}")
@@ -67,7 +69,12 @@ class StreamDriver:
         mode = WindowMode.APPEND if window is None else WindowMode.VARIABLE
         self.mode = mode
         self.slider = Slider(
-            job, mode=mode, config=slider_config, cluster=cluster
+            job,
+            mode=mode,
+            config=slider_config,
+            cluster=cluster,
+            chaos=chaos,
+            executor_config=executor_config,
         )
         #: Slide intervals currently inside the window, oldest first.
         self._live_batches: list[_SlideBatch] = []

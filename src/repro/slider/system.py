@@ -17,6 +17,12 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.cluster.cache import CacheConfig, DistributedMemoCache, GarbageCollector
+from repro.cluster.chaos import ChaosPlan, ChaosSchedule
+from repro.cluster.executor import (
+    ExecutorConfig,
+    ExecutorHooks,
+    execute_two_waves,
+)
 from repro.cluster.machine import Cluster
 from repro.cluster.scheduler import (
     HybridScheduler,
@@ -24,7 +30,7 @@ from repro.cluster.scheduler import (
     SimTask,
     simulate_two_waves,
 )
-from repro.common.errors import WindowError
+from repro.common.errors import ReproError, WindowError
 from repro.common.hashing import stable_hash
 from repro.core.base import ContractionTree
 from repro.core.coalescing import CoalescingTree
@@ -35,7 +41,6 @@ from repro.core.randomized import RandomizedFoldingTree
 from repro.core.rotating import RotatingTree
 from repro.core.strawman import StrawmanTree
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.runtime import reduce_partition
 from repro.mapreduce.shuffle import HashPartitioner, run_map_task
 from repro.mapreduce.types import Split, SplitWindow
 from repro.metrics import Phase, RunReport, WorkMeter
@@ -105,9 +110,14 @@ class _RunSnapshot:
         return _RunSnapshot(dict(meter.by_phase))
 
     def delta(self, meter: WorkMeter) -> dict[Phase, float]:
+        # Sort the phases: set iteration over enum members follows object
+        # hashes, which vary across processes, and the float summation
+        # order downstream must not.
         return {
             phase: meter.by_phase.get(phase, 0.0) - self.totals.get(phase, 0.0)
-            for phase in set(meter.by_phase) | set(self.totals)
+            for phase in sorted(
+                set(meter.by_phase) | set(self.totals), key=lambda p: p.value
+            )
         }
 
 
@@ -122,6 +132,8 @@ class Slider:
         cluster: Cluster | None = None,
         scheduler: Scheduler | None = None,
         cache_config: CacheConfig | None = None,
+        chaos: ChaosSchedule | ChaosPlan | None = None,
+        executor_config: ExecutorConfig | None = None,
     ) -> None:
         if config is not None and config.mode is not mode:
             config = SliderConfig(**{**config.__dict__, "mode": mode})
@@ -142,6 +154,14 @@ class Slider:
             self.cache = DistributedMemoCache(cluster, cache_config)
             self.gc = GarbageCollector(self.cache)
             self.blocks = BlockStore(cluster)
+        #: Fault schedule(s) the time simulation executes under; outputs
+        #: are unaffected (the invariant `verify_outputs` checks).
+        self.chaos = chaos
+        self.executor_config = executor_config
+        #: Machines chaos crashed during the latest simulated execution;
+        #: healed at the start of the next run when the schedule says so.
+        self._chaos_downed: list[int] = []
+        self._last_recovery: dict[str, float] = {}
         #: split uid -> per-reducer map-output partitions.
         self._map_memo: dict[int, list[Partition]] = {}
         self.trees: list[ContractionTree] = [
@@ -198,6 +218,7 @@ class Slider:
         if self._ran_initial:
             raise WindowError("initial_run may only be called once")
         self._ran_initial = True
+        self._heal_chaos()
         snapshot = _RunSnapshot.of(self.meter)
         new_map_costs = self._run_maps(splits)
         self.window.append(list(splits))
@@ -217,6 +238,7 @@ class Slider:
             raise WindowError("advance called before initial_run")
         WindowDelta(len(added), removed).validate(self.mode, len(self.window))
 
+        self._heal_chaos()
         snapshot = _RunSnapshot.of(self.meter)
         reused = sum(1 for s in added if s.uid in self._map_memo)
         new_map_costs = self._run_maps(added)
@@ -360,7 +382,9 @@ class Slider:
             time=time,
             space=self.space(),
             breakdown={phase.value: amount for phase, amount in phase_delta.items()},
+            recovery=dict(self._last_recovery),
         )
+        self._last_recovery = {}
         result = SliderResult(
             outputs=outputs,
             report=report,
@@ -434,10 +458,97 @@ class Slider:
                     kind="reduce",
                 )
             )
-        makespan, _ = simulate_two_waves(
-            map_tasks, reduce_tasks, self.cluster, self.scheduler
+        schedule = None
+        if self.chaos is not None:
+            schedule = self.chaos.for_run(self._run_index)
+            if schedule is not None and schedule.is_empty():
+                schedule = None
+        if schedule is None and self.executor_config is None:
+            # Calm run on the default executor knobs: the plain wrapper,
+            # bit-identical to the historical greedy figures.
+            makespan, _ = simulate_two_waves(
+                map_tasks, reduce_tasks, self.cluster, self.scheduler
+            )
+            return makespan
+        return self._execute_under_chaos(map_tasks, reduce_tasks, schedule)
+
+    def _execute_under_chaos(
+        self,
+        map_tasks: list[SimTask],
+        reduce_tasks: list[SimTask],
+        schedule: ChaosSchedule | None,
+    ) -> float:
+        """Run the wave pair on the fault-tolerant executor, reacting to
+        crashes with cache/block-store re-replication, and record the
+        recovery costs for the run report."""
+        repair_bytes_before = (
+            self.cache.stats.repair_bytes if self.cache is not None else 0.0
         )
-        return makespan
+        block_traffic_before = (
+            self.blocks.repair_traffic if self.blocks is not None else 0.0
+        )
+        hooks = ExecutorHooks(
+            on_crash=self._on_chaos_crash, on_detect=self._on_chaos_detect
+        )
+        report = execute_two_waves(
+            map_tasks,
+            reduce_tasks,
+            self.cluster,
+            self.scheduler,
+            config=self.executor_config,
+            chaos=schedule,
+            hooks=hooks,
+        )
+        recovery = report.stats.as_dict()
+        recovery["map_finish"] = report.map_finish
+        if self.cache is not None:
+            recovery["repair_bytes"] = (
+                self.cache.stats.repair_bytes - repair_bytes_before
+            )
+        if self.blocks is not None:
+            recovery["block_repair_traffic"] = (
+                self.blocks.repair_traffic - block_traffic_before
+            )
+        self._last_recovery = recovery
+        return report.makespan
+
+    def _on_chaos_crash(self, machine_id: int, when: float) -> None:
+        """The machine physically died: its RAM (cache shard) is gone and
+        the trees' process-local memo views can no longer be trusted."""
+        self._chaos_downed.append(machine_id)
+        if self.cache is not None:
+            self.cache.on_machine_failure(machine_id)
+        for tree in self.trees:
+            tree.memo.entries.clear()
+
+    def _on_chaos_detect(self, machine_id: int, when: float) -> None:
+        """The master noticed the crash: re-replicate what lost a copy."""
+        if self.blocks is not None:
+            self.blocks.on_machine_failure(machine_id)
+        if self.cache is not None:
+            self.cache.repair()
+
+    def _heal_chaos(self) -> None:
+        """Revive chaos-crashed machines before the next run when the
+        schedule heals (mirrors FaultInjector's ``heal``)."""
+        if not self._chaos_downed:
+            return
+        if self.chaos is None or getattr(self.chaos, "heal", True):
+            for machine_id in self._chaos_downed:
+                if not self.cluster.machine(machine_id).alive:
+                    self.cluster.revive(machine_id)
+        self._chaos_downed = []
+
+    def set_chaos(
+        self,
+        chaos: ChaosSchedule | ChaosPlan | None,
+        executor_config: ExecutorConfig | None = None,
+    ) -> None:
+        """Swap the fault schedule (and optionally executor knobs) between
+        runs; pass ``None`` to go back to calm execution."""
+        self.chaos = chaos
+        if executor_config is not None:
+            self.executor_config = executor_config
 
     # -- maintenance ---------------------------------------------------------
 
@@ -505,3 +616,32 @@ class Slider:
             for key, value in tree.root().items():
                 outputs[key] = self.job.reduce_fn(key, value)
         return outputs
+
+    def verify_outputs(self, outputs: dict[Any, Any] | None = None) -> int:
+        """Invariant check: outputs equal a from-scratch batch run.
+
+        Chaos only perturbs the *time* simulation and the storage layers;
+        the incremental computation must still produce exactly what a
+        fault-free batch execution over the current window produces.
+        Raises :class:`~repro.common.errors.ReproError` on any
+        divergence; returns the number of keys checked.
+        """
+        from repro.mapreduce.runtime import BatchRuntime
+
+        expected = BatchRuntime(self.job).run(list(self.window)).outputs
+        actual = outputs if outputs is not None else self.current_outputs()
+        if actual != expected:
+            missing = sorted(
+                str(k) for k in expected.keys() - actual.keys()
+            )[:5]
+            extra = sorted(str(k) for k in actual.keys() - expected.keys())[:5]
+            wrong = sorted(
+                str(k)
+                for k in expected.keys() & actual.keys()
+                if expected[k] != actual[k]
+            )[:5]
+            raise ReproError(
+                "incremental outputs diverged from the batch run: "
+                f"missing={missing} extra={extra} wrong={wrong}"
+            )
+        return len(expected)

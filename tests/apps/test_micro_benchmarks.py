@@ -8,8 +8,6 @@ from repro.apps.knn import knn_job
 from repro.apps.matrix import matrix_job
 from repro.apps.registry import APP_REGISTRY, micro_benchmark_apps
 from repro.apps.substr import substr_job
-from repro.datagen.points import PointGenerator
-from repro.datagen.text import TextCorpusGenerator
 from repro.mapreduce.runtime import BatchRuntime
 from repro.slider.system import Slider
 from repro.slider.window import WindowMode

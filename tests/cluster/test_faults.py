@@ -53,3 +53,32 @@ def test_injector_counts_lost_cache_objects():
     # Fault-tolerant layer still serves the lost objects.
     for uid in uids_on_0:
         assert cache.fetch(uid) is not None
+
+
+def test_random_plan_victims_are_not_biased_to_low_ids():
+    """Truncating coin-flip survivors with [:limit] always sacrificed the
+    lowest-numbered machines; victims must be spread over the cluster."""
+    cluster = quiet_cluster(n=8)
+    victims = []
+    for seed in range(60):
+        plan = FaultPlan.random(
+            cluster, runs=4, crash_probability=0.9, seed=seed, max_concurrent=1
+        )
+        for machines in plan.crashes.values():
+            victims.extend(machines)
+    assert victims
+    high_ids = [v for v in victims if v >= 4]
+    # With p=0.9 the old [:limit] code picked machine 0 almost always;
+    # uniform sampling must regularly reach the upper half of the cluster.
+    assert len(high_ids) > len(victims) * 0.2
+
+
+def test_random_plan_respects_max_concurrent():
+    cluster = quiet_cluster(n=8)
+    plan = FaultPlan.random(
+        cluster, runs=6, crash_probability=1.0, seed=3, max_concurrent=2
+    )
+    assert plan.crashes
+    for machines in plan.crashes.values():
+        assert 1 <= len(machines) <= 2
+        assert len(set(machines)) == len(machines)

@@ -58,3 +58,33 @@ def test_all_dead_raises():
     cluster.kill(1)
     with pytest.raises(SchedulingError):
         cluster.alive_machines()
+
+
+def test_kill_unknown_machine_raises_scheduling_error():
+    cluster = Cluster(ClusterConfig(num_machines=3, straggler_fraction=0.0))
+    for bogus in (-1, 3, 99):
+        with pytest.raises(SchedulingError):
+            cluster.kill(bogus)
+        with pytest.raises(SchedulingError):
+            cluster.revive(bogus)
+        with pytest.raises(SchedulingError):
+            cluster.machine(bogus)
+
+
+def test_revive_alive_machine_warns_and_is_noop():
+    cluster = Cluster(ClusterConfig(num_machines=2, straggler_fraction=0.0))
+    with pytest.warns(RuntimeWarning, match="already alive"):
+        cluster.revive(0)
+    assert cluster.machine(0).alive
+
+
+def test_assign_stragglers_skips_dead_machines():
+    cluster = Cluster(
+        ClusterConfig(num_machines=10, straggler_fraction=0.3, seed=4)
+    )
+    for machine_id in (0, 1, 2):
+        cluster.kill(machine_id)
+    for _ in range(20):
+        ids = cluster.assign_stragglers()
+        assert ids, "straggler budget should still be spent"
+        assert all(cluster.machine(i).alive for i in ids)

@@ -27,7 +27,7 @@ def test_child_streams_are_stable():
 
 def test_consuming_one_stream_does_not_shift_another():
     """The classic simulator pitfall this module exists to prevent."""
-    a1 = RngStream(9, "a")
+    _a1 = RngStream(9, "a")  # stream "a" exists but is never consumed
     b1 = RngStream(9, "b")
     b1_seq = list(b1.integers(0, 1000, size=5))
 

@@ -1,0 +1,144 @@
+"""Property tests: chaos perturbs time, never results.
+
+For random windows, applications, and fault schedules, the incremental
+outputs under chaos must be identical to the fault-free run's, and the
+same seed must reproduce the same recovery trace (makespans, attempt
+counts, repair traffic) twice — the executor draws every coin from named
+RngStreams, so recovery is as deterministic as the computation itself.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.chaos import ChaosPlan
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.mapreduce.combiners import MaxCombiner, MeanCombiner, SumCombiner
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import make_splits
+from repro.slider.system import Slider
+from repro.slider.window import WindowMode
+
+APPS = {
+    "wordcount": lambda: MapReduceJob(
+        name="wordcount",
+        map_fn=lambda line: [(w, 1) for w in line.split()],
+        combiner=SumCombiner(),
+        num_reducers=2,
+    ),
+    "max": lambda: MapReduceJob(
+        name="max",
+        map_fn=lambda line: [(w[0], float(len(w))) for w in line.split()],
+        combiner=MaxCombiner(),
+        num_reducers=2,
+    ),
+    "mean": lambda: MapReduceJob(
+        name="mean",
+        map_fn=lambda line: [(w[0], (float(len(w)), 1)) for w in line.split()],
+        combiner=MeanCombiner(),
+        num_reducers=2,
+    ),
+}
+
+
+def make_corpus(size, seed):
+    return [
+        f"w{(i * 7 + seed) % 11} w{(i + seed) % 5} w{i % 3}"
+        for i in range(size)
+    ]
+
+
+def run_windows(app, corpus, deltas, chaos):
+    """Drive one Slider through initial + incremental runs; collect the
+    outputs and the observable recovery/time trace of each run."""
+    cluster = Cluster(
+        ClusterConfig(num_machines=5, straggler_fraction=0.0, seed=13)
+    )
+    slider = Slider(
+        APPS[app](), WindowMode.VARIABLE, cluster=cluster, chaos=chaos
+    )
+    splits = make_splits(corpus, 3)
+    initial = max(2, len(splits) // 2)
+    results = [slider.initial_run(splits[:initial])]
+    cursor = initial
+    for add, remove in deltas:
+        add = min(add, len(splits) - cursor)
+        remove = min(remove, len(slider.window) - 1)
+        results.append(
+            slider.advance(splits[cursor : cursor + add], remove)
+        )
+        cursor += add
+    slider.verify_outputs()
+    outputs = [r.outputs for r in results]
+    trace = [
+        (r.report.time, dict(r.report.recovery)) for r in results
+    ]
+    return outputs, trace
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(
+    app=st.sampled_from(sorted(APPS)),
+    corpus_size=st.integers(18, 60),
+    corpus_seed=st.integers(0, 5),
+    deltas=st.lists(
+        st.tuples(st.integers(1, 4), st.integers(0, 3)),
+        min_size=1,
+        max_size=3,
+    ),
+    chaos_seed=st.integers(0, 10_000),
+)
+def test_outputs_identical_to_fault_free_run(
+    app, corpus_size, corpus_seed, deltas, chaos_seed
+):
+    corpus = make_corpus(corpus_size, corpus_seed)
+    probe_cluster = Cluster(
+        ClusterConfig(num_machines=5, straggler_fraction=0.0, seed=13)
+    )
+    # Fault-free probe run: its per-run times bound the chaos horizon so
+    # crashes actually land mid-execution.
+    calm_outputs, calm_trace = run_windows(app, corpus, deltas, chaos=None)
+    horizon = max(0.5, min(time for time, _ in calm_trace))
+    chaos = ChaosPlan.random(
+        probe_cluster,
+        runs=len(deltas) + 1,
+        seed=chaos_seed,
+        horizon=horizon,
+        crash_probability=0.6,
+        straggle_probability=0.4,
+        transient_rate=0.1,
+    )
+    chaotic_outputs, chaotic_trace = run_windows(app, corpus, deltas, chaos)
+    assert chaotic_outputs == calm_outputs
+    # faults can only delay a run, never speed it up
+    for (calm_time, _), (chaos_time, recovery) in zip(
+        calm_trace, chaotic_trace
+    ):
+        if recovery:
+            assert chaos_time >= calm_time - 1e-9
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    app=st.sampled_from(sorted(APPS)),
+    chaos_seed=st.integers(0, 10_000),
+)
+def test_same_seed_same_recovery_trace(app, chaos_seed):
+    corpus = make_corpus(36, seed=1)
+    deltas = [(3, 2), (2, 1)]
+    probe_cluster = Cluster(
+        ClusterConfig(num_machines=5, straggler_fraction=0.0, seed=13)
+    )
+    chaos = ChaosPlan.random(
+        probe_cluster,
+        runs=3,
+        seed=chaos_seed,
+        horizon=20.0,
+        crash_probability=0.7,
+        straggle_probability=0.5,
+        transient_rate=0.15,
+    )
+    first_outputs, first_trace = run_windows(app, corpus, deltas, chaos)
+    second_outputs, second_trace = run_windows(app, corpus, deltas, chaos)
+    assert first_outputs == second_outputs
+    assert first_trace == second_trace

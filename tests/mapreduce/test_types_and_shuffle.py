@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.errors import ReproError
 from repro.mapreduce.combiners import SumCombiner
 from repro.mapreduce.job import CostModel, MapReduceJob
 from repro.mapreduce.shuffle import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.mapreduce.runtime import BatchRuntime
 from repro.mapreduce.types import make_splits
 from repro.query.compiler import compile_plan
 from repro.query.parser import PigParseError, parse_pig
