@@ -34,12 +34,15 @@ from repro.cluster.chaos import (
 )
 from repro.cluster.executor import (
     AttemptState,
+    DagExecutor,
     ExecutionReport,
     ExecutorConfig,
     ExecutorHooks,
     RecoveryStats,
     TaskAttempt,
     WaveExecutor,
+    critical_path_priority,
+    execute_dag,
     execute_two_waves,
     execute_wave,
 )
@@ -66,12 +69,15 @@ __all__ = [
     "StraggleEpisode",
     "TransientFaults",
     "AttemptState",
+    "DagExecutor",
     "ExecutionReport",
     "ExecutorConfig",
     "ExecutorHooks",
     "RecoveryStats",
     "TaskAttempt",
     "WaveExecutor",
+    "critical_path_priority",
+    "execute_dag",
     "execute_wave",
     "execute_two_waves",
     "Cluster",

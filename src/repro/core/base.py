@@ -19,6 +19,7 @@ from repro.core.partition import Partition, combine_partitions
 from repro.metrics import Phase, WorkMeter
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.mapreduce
+    from repro.core.taskgraph import GraphRecorder
     from repro.mapreduce.combiners import Combiner
 
 
@@ -81,6 +82,10 @@ class ContractionTree(ABC):
         )
         self.stats = TreeStats()
         self._ran_initial = False
+        #: Task-graph recorder (set by the engine); every sub-computation
+        #: flowing through :meth:`_combine` records a node while a run's
+        #: graph is open.
+        self.recorder: GraphRecorder | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -99,11 +104,18 @@ class ContractionTree(ABC):
     def window_leaves(self) -> list[Partition]:
         """The current window's leaf partitions, in window order."""
 
+    @abstractmethod
     def root(self) -> Partition:
         """The current root partition (after the last run)."""
-        raise NotImplementedError
 
     # -- shared machinery ----------------------------------------------------
+
+    def _active_recorder(self) -> GraphRecorder | None:
+        """The recorder, iff a run's graph is currently open."""
+        recorder = self.recorder
+        if recorder is not None and recorder.active:
+            return recorder
+        return None
 
     def _combine(
         self,
@@ -111,19 +123,32 @@ class ContractionTree(ABC):
         phase: Phase = Phase.CONTRACTION,
         memo_uid: int | None = None,
         cost_scale: float = 1.0,
+        node: str = "",
     ) -> Partition:
         """One (possibly memoized) combiner invocation over ``parts``.
 
         ``cost_scale`` discounts the charged cost when the merge piggybacks
         on work another task performs anyway (e.g. the Reduce task's own
         merge pass consuming a root-and-delta union in split processing).
+
+        ``node`` names this sub-computation's position in the tree's own
+        level structure; it labels the task-graph node when a run's graph
+        is being recorded.
         """
+        recorder = self._active_recorder()
         if memo_uid is not None:
             cached = self.memo.lookup(memo_uid)
             if cached is not None:
                 self.stats.combiner_reuses += 1
                 if self.memo_read_cost:
                     self.meter.charge(Phase.MEMO_READ, self.memo_read_cost)
+                if recorder is not None:
+                    recorder.memo_read(
+                        cached,
+                        cost=self.memo_read_cost,
+                        label=node or f"memo:{memo_uid:#x}",
+                        memo_uid=memo_uid,
+                    )
                 return cached
         self.stats.combiner_invocations += 1
         non_empty = sum(1 for p in parts if p)
@@ -133,16 +158,17 @@ class ContractionTree(ABC):
             # real cluster every tree node spills and copies its input, so
             # an overly tall tree is not free even where siblings are void.
             value = next(p for p in parts if p)
-            self.meter.charge(
-                phase,
-                cost_scale
-                * (
-                    0.5 * self.invocation_overhead
-                    + self.PASS_THROUGH_WEIGHT
-                    * value.record_weight(self.combiner)
-                ),
+            charge = cost_scale * (
+                0.5 * self.invocation_overhead
+                + self.PASS_THROUGH_WEIGHT * value.record_weight(self.combiner)
             )
+            self.meter.charge(phase, charge)
+            if recorder is not None:
+                recorder.combine(
+                    parts, value, phase, charge, label=node, pass_through=True
+                )
             return value
+        before = self.meter.by_phase.get(phase, 0.0) if recorder else 0.0
         result = combine_partitions(
             parts,
             self.combiner,
@@ -151,11 +177,38 @@ class ContractionTree(ABC):
             cost_factor=self.combine_cost_factor * cost_scale,
             invocation_overhead=self.invocation_overhead * cost_scale,
         )
+        combine_node = None
+        if recorder is not None:
+            combine_node = recorder.combine(
+                parts,
+                result,
+                phase,
+                cost=self.meter.by_phase.get(phase, 0.0) - before,
+                label=node,
+                memo_uid=memo_uid,
+            )
         if memo_uid is not None:
             self.memo.store(memo_uid, result)
             if self.memo_write_cost:
                 self.meter.charge(Phase.MEMO_WRITE, self.memo_write_cost)
+                if recorder is not None:
+                    recorder.memo_write(
+                        combine_node,
+                        result,
+                        cost=self.memo_write_cost,
+                        memo_uid=memo_uid,
+                    )
         return result
+
+    def _memo_visit(
+        self, value: Partition, cost: float, node: str = ""
+    ) -> None:
+        """Charge (and record) a memoized result moving through the tree —
+        the strawman's per-node visit cost on reuse."""
+        self.meter.charge(Phase.MEMO_READ, cost)
+        recorder = self._active_recorder()
+        if recorder is not None:
+            recorder.memo_read(value, cost=cost, label=node)
 
     def _check_initial(self, done: bool) -> None:
         if done and self._ran_initial:

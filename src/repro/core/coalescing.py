@@ -36,7 +36,9 @@ class CoalescingTree(ContractionTree):
     def initial_run(self, leaves: Sequence[Partition]) -> Partition:
         self._check_initial(done=True)
         self._leaves = list(leaves)
-        self._root = self._combine(self._leaves, phase=Phase.CONTRACTION)
+        self._root = self._combine(
+            self._leaves, phase=Phase.CONTRACTION, node="coal:root"
+        )
         self._reduce_input = self._root
         self.stats.leaves = len(self._leaves)
         self.stats.height = 1 if self._leaves else 0
@@ -53,7 +55,7 @@ class CoalescingTree(ContractionTree):
             self._reduce_input = self._effective_root()
             return self._reduce_input
 
-        delta = self._combine(added, phase=Phase.CONTRACTION)
+        delta = self._combine(added, phase=Phase.CONTRACTION, node="coal:delta")
         if self.split_mode:
             # Catch up if the background phase was skipped (best-effort).
             self._absorb_pending(Phase.CONTRACTION)
@@ -62,11 +64,16 @@ class CoalescingTree(ContractionTree):
             # of running (and materializing) a separate combiner, hence the
             # discounted cost (Figure 5b).
             self._reduce_input = self._combine(
-                [self._root, delta], phase=Phase.REDUCE, cost_scale=0.5
+                [self._root, delta],
+                phase=Phase.REDUCE,
+                cost_scale=0.5,
+                node="coal:reduce-input",
             )
             self._pending_delta = delta
         else:
-            self._root = self._combine([self._root, delta], phase=Phase.CONTRACTION)
+            self._root = self._combine(
+                [self._root, delta], phase=Phase.CONTRACTION, node="coal:root"
+            )
             self._reduce_input = self._root
         return self._reduce_input
 
@@ -88,7 +95,9 @@ class CoalescingTree(ContractionTree):
         if self._pending_delta is None:
             return
         delta, self._pending_delta = self._pending_delta, None
-        self._root = self._combine([self._root, delta], phase=phase)
+        self._root = self._combine(
+            [self._root, delta], phase=phase, node="coal:absorb"
+        )
 
     def _effective_root(self) -> Partition:
         if self._pending_delta is not None:
@@ -96,5 +105,6 @@ class CoalescingTree(ContractionTree):
                 [self._root, self._pending_delta],
                 phase=Phase.REDUCE,
                 cost_scale=0.5,
+                node="coal:reduce-input",
             )
         return self._root

@@ -182,7 +182,9 @@ class FoldingTree(ContractionTree):
                 left = self._node_value(level - 1, parent * 2)
                 right = self._node_value(level - 1, parent * 2 + 1)
                 self._cache[(level, parent)] = self._combine(
-                    [left, right], phase=Phase.CONTRACTION
+                    [left, right],
+                    phase=Phase.CONTRACTION,
+                    node=f"fold:L{level}.{parent}",
                 )
             dirty = parents
 

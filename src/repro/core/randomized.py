@@ -133,5 +133,9 @@ class RandomizedFoldingTree(ContractionTree):
         if len(group) == 1:
             # Singleton groups pass through without a combiner invocation.
             return (group_uid, group[0][1])
-        value = self._combine([v for _, v in group], memo_uid=group_uid)
+        value = self._combine(
+            [v for _, v in group],
+            memo_uid=group_uid,
+            node=f"rft:L{level}.g{group_uid & 0xFFFFFF:#x}",
+        )
         return (group_uid, value)

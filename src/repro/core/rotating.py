@@ -74,7 +74,13 @@ class RotatingTree(ContractionTree):
         for start in range(0, len(leaves), self.bucket_size):
             chunk = leaves[start : start + self.bucket_size]
             self._bucket_leaves.append(list(chunk))
-            self._buckets.append(self._combine(chunk, phase=Phase.CONTRACTION))
+            self._buckets.append(
+                self._combine(
+                    chunk,
+                    phase=Phase.CONTRACTION,
+                    node=f"rot:bucket.{len(self._buckets)}",
+                )
+            )
         count = len(self._buckets)
         self._height = max(0, (count - 1).bit_length())
         self._propagate(set(range(count)))
@@ -124,14 +130,18 @@ class RotatingTree(ContractionTree):
 
     def _replace_oldest(self, chunk: list[Partition]) -> None:
         slot = self._oldest
-        bucket = self._combine(chunk, phase=Phase.CONTRACTION)
+        bucket = self._combine(
+            chunk, phase=Phase.CONTRACTION, node=f"rot:bucket.{slot}"
+        )
         self._bucket_leaves[slot] = list(chunk)
         self._buckets[slot] = bucket
 
         if self._intermediate is not None and self._intermediate_slot == slot:
             # Fast foreground path: one combine against the precomputed I.
             self._root = self._combine(
-                [bucket, self._intermediate], phase=Phase.CONTRACTION
+                [bucket, self._intermediate],
+                phase=Phase.CONTRACTION,
+                node=f"rot:fast-root.{slot}",
             )
             self._intermediate = None
             self._intermediate_slot = None
@@ -156,7 +166,9 @@ class RotatingTree(ContractionTree):
         slot = self._oldest
         siblings = self._off_path_values(slot)
         if siblings:
-            self._intermediate = self._combine(siblings, phase=Phase.BACKGROUND)
+            self._intermediate = self._combine(
+                siblings, phase=Phase.BACKGROUND, node=f"rot:I.{slot}"
+            )
         else:
             self._intermediate = Partition.empty()
         self._intermediate_slot = slot
@@ -178,7 +190,7 @@ class RotatingTree(ContractionTree):
                 left = self._node_value(level - 1, parent * 2)
                 right = self._node_value(level - 1, parent * 2 + 1)
                 self._cache[(level, parent)] = self._combine(
-                    [left, right], phase=phase
+                    [left, right], phase=phase, node=f"rot:L{level}.{parent}"
                 )
             dirty = parents
 

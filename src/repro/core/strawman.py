@@ -26,7 +26,6 @@ from typing import Sequence
 
 from repro.core.base import ContractionTree
 from repro.core.partition import Partition
-from repro.metrics import Phase
 
 
 class StrawmanTree(ContractionTree):
@@ -84,11 +83,15 @@ class StrawmanTree(ContractionTree):
                     self.stats.combiner_reuses += 1
                     # Data movement for the memoized output (the strawman's
                     # linear visit cost).
-                    self.meter.charge(
-                        Phase.MEMO_READ, self.visit_cost * max(1, len(value))
+                    self._memo_visit(
+                        value,
+                        self.visit_cost * max(1, len(value)),
+                        node=f"straw:L{height}.{i // 2}",
                     )
                 else:
-                    value = self._combine([left, right])
+                    value = self._combine(
+                        [left, right], node=f"straw:L{height}.{i // 2}"
+                    )
                 fresh[position] = (left.uid, right.uid, value)
                 next_level.append(value)
             if len(level) % 2:

@@ -1,0 +1,395 @@
+"""The per-run task-graph IR: every run reified as a DAG of sub-computations.
+
+The paper's central object is the contraction tree as a *graph of
+memoizable sub-computations* — its O(log n) update bound comes from the
+depth of exactly that DAG.  This module records it explicitly: one
+:class:`TaskNode` per Map task, combiner invocation, memo read/write, and
+per-key Reduce, with dependency edges wired through the
+:class:`~repro.core.partition.Partition` values that flow between them.
+
+The :class:`GraphRecorder` is threaded by the Slider engine through
+``_run_maps`` → tree ``advance`` → ``_reduce_all``; contraction trees feed
+it from :meth:`~repro.core.base.ContractionTree._combine`, passing their
+own level structure as node labels.  The graph is a pure *observation*: it
+charges nothing to the :class:`~repro.metrics.WorkMeter`, and its per-phase
+totals are asserted (in tests) to equal the legacy metering, making the
+meter a derived view of the graph.
+
+The cluster layer replays the graph at sub-computation granularity
+(:func:`repro.cluster.executor.execute_dag`): topological readiness instead
+of the coarse two-wave barrier, so the makespan tracks the critical path
+rather than the per-reducer work sum.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.core.partition import Partition
+from repro.metrics import Phase
+
+#: Node kinds, the taxonomy of sub-computations a run is made of.
+NODE_KINDS = (
+    "map",          # one Map task over a new split
+    "shuffle",      # routing one Map task's emissions to reducers
+    "combine",      # one real combiner invocation (>= 2 live inputs)
+    "pass_through", # a tree position forwarding its single live child
+    "memo_read",    # a memoized result served instead of recomputation
+    "memo_write",   # persisting a fresh combiner result
+    "reduce",       # the Reduce function on one changed key
+)
+
+
+@dataclass(frozen=True)
+class TaskNode:
+    """One sub-computation of a run.
+
+    ``deps`` reference earlier nodes by uid (the graph is built append-only,
+    so edges always point backwards and the graph is acyclic by
+    construction).  ``data_size`` is the abstract size of the node's output
+    (keys produced), the quantity a replay charges for network fetches.
+    """
+
+    uid: int
+    kind: str
+    phase: Phase
+    label: str = ""
+    cost: float = 0.0
+    data_size: float = 0.0
+    memo_hit: bool = False
+    reducer: int | None = None
+    split_uid: int | None = None
+    memo_uid: int | None = None
+    deps: tuple[int, ...] = ()
+
+
+@dataclass
+class TaskGraph:
+    """The dependency graph of one Slider run."""
+
+    label: str = ""
+    nodes: list[TaskNode] = field(default_factory=list)
+    #: Partition content id -> uid of the node that produced it this run.
+    _producers: dict[int, int] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    def add(
+        self,
+        kind: str,
+        phase: Phase,
+        label: str = "",
+        cost: float = 0.0,
+        data_size: float = 0.0,
+        memo_hit: bool = False,
+        reducer: int | None = None,
+        split_uid: int | None = None,
+        memo_uid: int | None = None,
+        deps: tuple[int, ...] = (),
+    ) -> TaskNode:
+        if kind not in NODE_KINDS:
+            raise ValueError(f"unknown node kind {kind!r}")
+        for dep in deps:
+            if not 0 <= dep < len(self.nodes):
+                raise ValueError(f"dependency {dep} does not exist yet")
+        node = TaskNode(
+            uid=len(self.nodes),
+            kind=kind,
+            phase=phase,
+            label=label,
+            cost=cost,
+            data_size=data_size,
+            memo_hit=memo_hit,
+            reducer=reducer,
+            split_uid=split_uid,
+            memo_uid=memo_uid,
+            deps=tuple(sorted(set(deps))),
+        )
+        self.nodes.append(node)
+        return node
+
+    def set_producer(self, partition: Partition, node_uid: int) -> None:
+        """Record that ``partition``'s content is produced by ``node_uid``.
+
+        Empty partitions are never registered: the shared empty-partition
+        content id would wire bogus edges between unrelated subtrees.
+        """
+        if partition:
+            self._producers[partition.uid] = node_uid
+
+    def producer_of(self, partition: Partition) -> int | None:
+        """The node that produced ``partition`` this run, if any.
+
+        ``None`` means the value is *initial state* for this run (carried
+        over from a previous run's memoization), so no edge is needed.
+        """
+        if not partition:
+            return None
+        return self._producers.get(partition.uid)
+
+    def deps_of(self, parts) -> tuple[int, ...]:
+        """Producer uids for every partition in ``parts`` known to this run."""
+        found = []
+        for part in parts:
+            uid = self.producer_of(part)
+            if uid is not None:
+                found.append(uid)
+        return tuple(found)
+
+    # -- derived views -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, uid: int) -> TaskNode:
+        return self.nodes[uid]
+
+    def work_by_phase(self) -> dict[Phase, float]:
+        """Per-phase work totals derived from the graph (the WorkMeter view)."""
+        totals: dict[Phase, float] = {}
+        for node in self.nodes:
+            totals[node.phase] = totals.get(node.phase, 0.0) + node.cost
+        return totals
+
+    def total_work(self) -> float:
+        return sum(node.cost for node in self.nodes)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+    def dependents(self) -> dict[int, list[int]]:
+        """Inverse edges: node uid -> uids that depend on it."""
+        children: dict[int, list[int]] = {node.uid: [] for node in self.nodes}
+        for node in self.nodes:
+            for dep in node.deps:
+                children[dep].append(node.uid)
+        return children
+
+    def topological_order(self) -> list[int]:
+        """Node uids in dependency order.
+
+        Append-only construction guarantees ``deps`` point backwards, so
+        the natural order is already topological; this validates it.
+        """
+        for node in self.nodes:
+            for dep in node.deps:
+                if dep >= node.uid:
+                    raise ValueError(
+                        f"node {node.uid} depends on later node {dep}"
+                    )
+        return [node.uid for node in self.nodes]
+
+    def critical_path_costs(self) -> dict[int, float]:
+        """For each node, the heaviest cost chain from it to any sink
+        (inclusive of the node itself) — the priority a critical-path-first
+        replay schedules by."""
+        downstream: dict[int, float] = {}
+        children = self.dependents()
+        for node in reversed(self.nodes):
+            best_child = max(
+                (downstream[c] for c in children[node.uid]), default=0.0
+            )
+            downstream[node.uid] = node.cost + best_child
+        return downstream
+
+    def critical_path_length(self) -> float:
+        """The longest cost chain — a lower bound on any replay's makespan
+        (before fetch penalties), however many machines are available."""
+        if not self.nodes:
+            return 0.0
+        return max(self.critical_path_costs().values())
+
+
+class GraphRecorder:
+    """Builds one TaskGraph per Slider run.
+
+    Lifecycle: ``begin_run`` opens a fresh graph, the engine and trees feed
+    nodes while the run executes, ``end_run`` closes it and retains it as
+    ``last_graph``.  Outside a run every recording call is a no-op, so
+    background pre-processing (which runs between windows) never pollutes a
+    run's graph.
+    """
+
+    def __init__(self) -> None:
+        self.graph: TaskGraph | None = None
+        self.last_graph: TaskGraph | None = None
+        #: Reducer context set by the engine around per-tree work.
+        self.reducer: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.graph is not None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_run(self, label: str = "") -> TaskGraph:
+        self.graph = TaskGraph(label=label)
+        self.reducer = None
+        return self.graph
+
+    def end_run(self) -> TaskGraph | None:
+        graph, self.graph = self.graph, None
+        self.reducer = None
+        if graph is not None:
+            self.last_graph = graph
+        return graph
+
+    @contextmanager
+    def reducer_context(self, reducer: int):
+        previous, self.reducer = self.reducer, reducer
+        try:
+            yield
+        finally:
+            self.reducer = previous
+
+    # -- recording ---------------------------------------------------------
+
+    def map_task(
+        self,
+        split_uid: int,
+        outputs: list[Partition],
+        map_cost: float,
+        shuffle_cost: float,
+    ) -> None:
+        """A fresh Map task: a map node plus a dependent shuffle node; the
+        per-reducer output partitions are produced by the chain's tail."""
+        if self.graph is None:
+            return
+        map_node = self.graph.add(
+            kind="map",
+            phase=Phase.MAP,
+            label=f"map:{split_uid:#x}",
+            cost=map_cost,
+            data_size=float(sum(len(p) for p in outputs)),
+            split_uid=split_uid,
+        )
+        tail = map_node
+        if shuffle_cost > 0:
+            tail = self.graph.add(
+                kind="shuffle",
+                phase=Phase.SHUFFLE,
+                label=f"shuffle:{split_uid:#x}",
+                cost=shuffle_cost,
+                data_size=map_node.data_size,
+                split_uid=split_uid,
+                deps=(map_node.uid,),
+            )
+        for partition in outputs:
+            self.graph.set_producer(partition, tail.uid)
+
+    def map_reuse(
+        self, split_uid: int, outputs: list[Partition], cost: float
+    ) -> None:
+        """A memoized Map task: its outputs are served by a memo read."""
+        if self.graph is None:
+            return
+        node = self.graph.add(
+            kind="memo_read",
+            phase=Phase.MEMO_READ,
+            label=f"map-memo:{split_uid:#x}",
+            cost=cost,
+            data_size=float(sum(len(p) for p in outputs)),
+            memo_hit=True,
+            split_uid=split_uid,
+        )
+        for partition in outputs:
+            self.graph.set_producer(partition, node.uid)
+
+    def memo_read(
+        self,
+        value: Partition,
+        cost: float,
+        label: str = "",
+        memo_uid: int | None = None,
+    ) -> None:
+        """A memo hit inside a tree: the cached value enters the run here."""
+        if self.graph is None:
+            return
+        node = self.graph.add(
+            kind="memo_read",
+            phase=Phase.MEMO_READ,
+            label=label,
+            cost=cost,
+            data_size=float(len(value)),
+            memo_hit=True,
+            reducer=self.reducer,
+            memo_uid=memo_uid,
+        )
+        self.graph.set_producer(value, node.uid)
+
+    def combine(
+        self,
+        parts,
+        result: Partition,
+        phase: Phase,
+        cost: float,
+        label: str = "",
+        pass_through: bool = False,
+        memo_uid: int | None = None,
+    ) -> TaskNode | None:
+        """One combiner invocation (or pass-through) at a tree position."""
+        if self.graph is None:
+            return None
+        node = self.graph.add(
+            kind="pass_through" if pass_through else "combine",
+            phase=phase,
+            label=label,
+            cost=cost,
+            data_size=float(len(result)),
+            reducer=self.reducer,
+            memo_uid=memo_uid,
+            deps=self.graph.deps_of(parts),
+        )
+        self.graph.set_producer(result, node.uid)
+        return node
+
+    def memo_write(
+        self, combine_node: TaskNode | None, value: Partition, cost: float,
+        memo_uid: int | None = None,
+    ) -> None:
+        if self.graph is None:
+            return
+        deps = (combine_node.uid,) if combine_node is not None else ()
+        self.graph.add(
+            kind="memo_write",
+            phase=Phase.MEMO_WRITE,
+            label=f"memo-write:{(memo_uid or 0):#x}",
+            cost=cost,
+            data_size=float(len(value)),
+            reducer=self.reducer,
+            memo_uid=memo_uid,
+            deps=deps,
+        )
+
+    def reduce_key(self, root: Partition, key, cost: float) -> None:
+        """The Reduce function applied to one changed key of a root."""
+        if self.graph is None:
+            return
+        self.graph.add(
+            kind="reduce",
+            phase=Phase.REDUCE,
+            label=f"reduce:{self.reducer}:{key!r:.32}",
+            cost=cost,
+            data_size=1.0,
+            reducer=self.reducer,
+            deps=self.graph.deps_of((root,)),
+        )
+
+    def reduce_reuse(self, root: Partition, keys: int, cost: float) -> None:
+        """Memoized Reduce outputs for ``keys`` unchanged keys of a root."""
+        if self.graph is None:
+            return
+        self.graph.add(
+            kind="memo_read",
+            phase=Phase.MEMO_READ,
+            label=f"reduce-memo:{self.reducer}:{keys}keys",
+            cost=cost,
+            data_size=float(keys),
+            memo_hit=True,
+            reducer=self.reducer,
+            deps=self.graph.deps_of((root,)),
+        )

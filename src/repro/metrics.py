@@ -41,8 +41,12 @@ class WorkMeter:
     """
 
     by_phase: dict[Phase, float] = field(default_factory=dict)
+    #: Per-charge log, populated only when ``_task_tracking`` is on.  Off
+    #: by default: a long-lived Slider charges thousands of times per run
+    #: and the log would grow without bound; tests that inspect individual
+    #: charges opt in with ``WorkMeter(_task_tracking=True)``.
     task_costs: list[tuple[Phase, float]] = field(default_factory=list)
-    _task_tracking: bool = True
+    _task_tracking: bool = False
 
     def charge(self, phase: Phase, amount: float) -> None:
         """Charge ``amount`` work units to ``phase``."""

@@ -13,7 +13,7 @@ Runs a MapReduceJob over a sliding window incrementally:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from repro.cluster.cache import CacheConfig, DistributedMemoCache, GarbageCollector
@@ -21,6 +21,7 @@ from repro.cluster.chaos import ChaosPlan, ChaosSchedule
 from repro.cluster.executor import (
     ExecutorConfig,
     ExecutorHooks,
+    execute_dag,
     execute_two_waves,
 )
 from repro.cluster.machine import Cluster
@@ -40,6 +41,7 @@ from repro.core.partition import Partition
 from repro.core.randomized import RandomizedFoldingTree
 from repro.core.rotating import RotatingTree
 from repro.core.strawman import StrawmanTree
+from repro.core.taskgraph import GraphRecorder, TaskGraph, TaskNode
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.shuffle import HashPartitioner, run_map_task
 from repro.mapreduce.types import Split, SplitWindow
@@ -48,6 +50,12 @@ from repro.slider.window import WindowDelta, WindowMode
 
 #: Tree-variant names accepted by SliderConfig.tree.
 TREE_VARIANTS = ("auto", "folding", "randomized", "rotating", "coalescing", "strawman")
+
+#: Time-simulation models accepted by SliderConfig.time_model: "waves"
+#: replays the legacy coarse two-wave task list (bit-identical to every
+#: historical figure); "dag" replays the recorded task graph at
+#: sub-computation granularity with topological readiness.
+TIME_MODELS = ("waves", "dag")
 
 
 @dataclass(frozen=True)
@@ -67,6 +75,16 @@ class SliderConfig:
     seed: int = 0
     #: Garbage-collect memoized state that fell out of the window.
     auto_gc: bool = True
+    #: How the time simulation replays a run's tasks on the cluster.
+    time_model: str = "waves"
+    #: Record the per-run task-graph IR (required by time_model="dag").
+    record_graph: bool = True
+
+    def __post_init__(self) -> None:
+        if self.time_model not in TIME_MODELS:
+            raise ValueError(f"unknown time model {self.time_model!r}")
+        if self.time_model == "dag" and not self.record_graph:
+            raise ValueError('time_model="dag" requires record_graph=True')
 
     def tree_variant(self) -> str:
         if self.tree != "auto":
@@ -97,6 +115,8 @@ class SliderResult:
     new_map_tasks: int = 0
     changed_keys: frozenset = frozenset()
     removed_keys: frozenset = frozenset()
+    #: The run's task-graph IR (None when recording is disabled).
+    graph: TaskGraph | None = None
 
 
 @dataclass
@@ -136,13 +156,17 @@ class Slider:
         executor_config: ExecutorConfig | None = None,
     ) -> None:
         if config is not None and config.mode is not mode:
-            config = SliderConfig(**{**config.__dict__, "mode": mode})
+            config = replace(config, mode=mode)
         self.job = job
         self.config = config or SliderConfig(mode=mode)
         self.mode = mode
         self.partitioner = HashPartitioner(job.num_reducers)
         self.meter = WorkMeter()
         self.window = SplitWindow()
+        #: Per-run task-graph recorder (the IR every run reifies into).
+        self.recorder: GraphRecorder | None = (
+            GraphRecorder() if self.config.record_graph else None
+        )
         self.cluster = cluster
         self.scheduler = scheduler or HybridScheduler()
         self.cache: DistributedMemoCache | None = None
@@ -173,6 +197,11 @@ class Slider:
         ]
         self._run_index = 0
         self._ran_initial = False
+        #: Per-reducer work measured during the latest run (feeds the time
+        #: simulation's reduce-task imbalance) and the latest output delta.
+        self._last_tree_costs: list[float] = []
+        self._last_changed_keys: frozenset = frozenset()
+        self._last_removed_keys: frozenset = frozenset()
 
     # -- tree construction ---------------------------------------------------
 
@@ -187,29 +216,32 @@ class Slider:
         )
         variant = self.config.tree_variant()
         if variant == "folding":
-            return FoldingTree(
+            tree: ContractionTree = FoldingTree(
                 self.job.combiner,
                 rebuild_factor=self.config.rebuild_factor,
                 **common,
             )
-        if variant == "randomized":
-            return RandomizedFoldingTree(
+        elif variant == "randomized":
+            tree = RandomizedFoldingTree(
                 self.job.combiner, seed=self.config.seed, **common
             )
-        if variant == "rotating":
-            return RotatingTree(
+        elif variant == "rotating":
+            tree = RotatingTree(
                 self.job.combiner,
                 bucket_size=self.config.bucket_size,
                 split_mode=self.config.split_mode,
                 **common,
             )
-        if variant == "coalescing":
-            return CoalescingTree(
+        elif variant == "coalescing":
+            tree = CoalescingTree(
                 self.job.combiner, split_mode=self.config.split_mode, **common
             )
-        if variant == "strawman":
-            return StrawmanTree(self.job.combiner, **common)
-        raise ValueError(f"unknown tree variant {variant!r}")
+        elif variant == "strawman":
+            tree = StrawmanTree(self.job.combiner, **common)
+        else:
+            raise ValueError(f"unknown tree variant {variant!r}")
+        tree.recorder = self.recorder
+        return tree
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -220,6 +252,8 @@ class Slider:
         self._ran_initial = True
         self._heal_chaos()
         snapshot = _RunSnapshot.of(self.meter)
+        if self.recorder is not None:
+            self.recorder.begin_run("initial")
         new_map_costs = self._run_maps(splits)
         self.window.append(list(splits))
 
@@ -240,6 +274,8 @@ class Slider:
 
         self._heal_chaos()
         snapshot = _RunSnapshot.of(self.meter)
+        if self.recorder is not None:
+            self.recorder.begin_run(f"incremental-{self._run_index}")
         reused = sum(1 for s in added if s.uid in self._map_memo)
         new_map_costs = self._run_maps(added)
         self.window.drop_front(removed)
@@ -280,20 +316,36 @@ class Slider:
         """Run (or reuse) Map tasks; returns per-split charged cost."""
         if self.blocks is not None:
             self.blocks.store_all(splits)
+        recorder = self.recorder
         costs: dict[int, float] = {}
         for split in splits:
             if split.uid in self._map_memo:
-                self.meter.charge(
-                    Phase.MEMO_READ,
-                    self.job.costs.memo_read_cost_per_key * max(1, len(split)),
+                read_cost = self.job.costs.memo_read_cost_per_key * max(
+                    1, len(split)
                 )
+                self.meter.charge(Phase.MEMO_READ, read_cost)
+                if recorder is not None:
+                    recorder.map_reuse(
+                        split.uid, self._map_memo[split.uid], cost=read_cost
+                    )
                 costs[split.uid] = 0.0
                 continue
             before = self.meter.total()
+            map_before = self.meter.by_phase.get(Phase.MAP, 0.0)
+            shuffle_before = self.meter.by_phase.get(Phase.SHUFFLE, 0.0)
             self._map_memo[split.uid] = run_map_task(
                 self.job, split.records, self.partitioner, self.meter
             )
             costs[split.uid] = self.meter.total() - before
+            if recorder is not None:
+                recorder.map_task(
+                    split.uid,
+                    self._map_memo[split.uid],
+                    map_cost=self.meter.by_phase.get(Phase.MAP, 0.0)
+                    - map_before,
+                    shuffle_cost=self.meter.by_phase.get(Phase.SHUFFLE, 0.0)
+                    - shuffle_before,
+                )
         return costs
 
     def _advance_trees(self, step) -> list[Partition]:
@@ -303,7 +355,11 @@ class Slider:
         self._last_tree_costs = []
         for reducer_index, tree in enumerate(self.trees):
             before = self.meter.total()
-            roots.append(step(reducer_index, tree))
+            if self.recorder is not None:
+                with self.recorder.reducer_context(reducer_index):
+                    roots.append(step(reducer_index, tree))
+            else:
+                roots.append(step(reducer_index, tree))
             self._last_tree_costs.append(self.meter.total() - before)
         return roots
 
@@ -328,6 +384,7 @@ class Slider:
         outputs: dict[Any, Any] = {}
         read_cost = self.job.costs.memo_read_cost_per_key
         reduce_cost = self.job.costs.reduce_cost_per_key
+        recorder = self.recorder
         changed_keys: set[Any] = set()
         removed_keys: set[Any] = set()
         for reducer_index, root in enumerate(roots):
@@ -345,6 +402,9 @@ class Slider:
                     output = self.job.reduce_fn(key, value)
                     changed += 1
                     changed_keys.add(key)
+                    if recorder is not None:
+                        with recorder.reducer_context(reducer_index):
+                            recorder.reduce_key(root, key, cost=reduce_cost)
                 fresh[key] = (value, output)
                 outputs[key] = output
             removed_keys.update(key for key in memo if key not in fresh)
@@ -353,6 +413,11 @@ class Slider:
                 self.meter.charge(Phase.REDUCE, changed * reduce_cost)
             if unchanged:
                 self.meter.charge(Phase.MEMO_READ, unchanged * read_cost)
+                if recorder is not None:
+                    with recorder.reducer_context(reducer_index):
+                        recorder.reduce_reuse(
+                            root, unchanged, cost=unchanged * read_cost
+                        )
             if reducer_index < len(self._last_tree_costs):
                 self._last_tree_costs[reducer_index] += (
                     self.meter.total() - reduce_start
@@ -370,12 +435,13 @@ class Slider:
         label: str,
     ) -> SliderResult:
         phase_delta = snapshot.delta(self.meter)
+        graph = self.recorder.end_run() if self.recorder is not None else None
         work = sum(
             amount
             for phase, amount in phase_delta.items()
             if phase is not Phase.BACKGROUND
         )
-        time = self._simulate_time(phase_delta, new_map_costs)
+        time = self._simulate_time(phase_delta, new_map_costs, graph)
         report = RunReport(
             label=label,
             work=work,
@@ -391,14 +457,18 @@ class Slider:
             run_index=self._run_index,
             reused_map_tasks=reused,
             new_map_tasks=sum(1 for cost in new_map_costs.values() if cost > 0),
-            changed_keys=getattr(self, "_last_changed_keys", frozenset()),
-            removed_keys=getattr(self, "_last_removed_keys", frozenset()),
+            changed_keys=self._last_changed_keys,
+            removed_keys=self._last_removed_keys,
+            graph=graph,
         )
         self._run_index += 1
         return result
 
     def _simulate_time(
-        self, phase_delta: dict[Phase, float], new_map_costs: dict[int, float]
+        self,
+        phase_delta: dict[Phase, float],
+        new_map_costs: dict[int, float],
+        graph: TaskGraph | None = None,
     ) -> float:
         """Replay this run's tasks on the cluster; fall back to work-as-time."""
         foreground = sum(
@@ -408,6 +478,8 @@ class Slider:
         )
         if self.cluster is None:
             return foreground
+        if self.config.time_model == "dag":
+            return self._replay_dag(graph)
 
         map_tasks = []
         for uid, cost in new_map_costs.items():
@@ -431,8 +503,8 @@ class Slider:
         reduce_tasks = []
         # Per-reducer costs measured during the run; any residue (shuffle,
         # map-side memo reads) spreads evenly.
-        tree_costs = getattr(self, "_last_tree_costs", None)
-        if not tree_costs or len(tree_costs) != len(self.trees):
+        tree_costs = self._last_tree_costs
+        if len(tree_costs) != len(self.trees):
             tree_costs = [0.0] * len(self.trees)
         residue = max(0.0, reduce_side - sum(tree_costs)) / max(
             1, len(self.trees)
@@ -471,6 +543,104 @@ class Slider:
             )
             return makespan
         return self._execute_under_chaos(map_tasks, reduce_tasks, schedule)
+
+    def _replay_dag(self, graph: TaskGraph | None) -> float:
+        """Replay the run's task graph at sub-computation granularity.
+
+        Every recorded node becomes one schedulable task with its own
+        locality preference; dependency edges gate readiness, so the
+        makespan tracks the graph's critical path instead of the coarse
+        map-barrier-then-per-reducer-sum of the two-wave replay.
+        """
+        if graph is None:
+            raise ReproError(
+                'time_model="dag" needs a recorded task graph for the run'
+            )
+        tasks, deps = self._dag_tasks(graph)
+        schedule = None
+        if self.chaos is not None:
+            schedule = self.chaos.for_run(self._run_index)
+            if schedule is not None and schedule.is_empty():
+                schedule = None
+        if schedule is None:
+            report = execute_dag(
+                tasks,
+                deps,
+                self.cluster,
+                self.scheduler,
+                config=self.executor_config,
+            )
+            return report.makespan
+        repair_bytes_before = (
+            self.cache.stats.repair_bytes if self.cache is not None else 0.0
+        )
+        block_traffic_before = (
+            self.blocks.repair_traffic if self.blocks is not None else 0.0
+        )
+        hooks = ExecutorHooks(
+            on_crash=self._on_chaos_crash, on_detect=self._on_chaos_detect
+        )
+        report = execute_dag(
+            tasks,
+            deps,
+            self.cluster,
+            self.scheduler,
+            config=self.executor_config,
+            chaos=schedule,
+            hooks=hooks,
+        )
+        recovery = report.stats.as_dict()
+        recovery["map_finish"] = report.map_finish
+        if self.cache is not None:
+            recovery["repair_bytes"] = (
+                self.cache.stats.repair_bytes - repair_bytes_before
+            )
+        if self.blocks is not None:
+            recovery["block_repair_traffic"] = (
+                self.blocks.repair_traffic - block_traffic_before
+            )
+        self._last_recovery = recovery
+        return report.makespan
+
+    def _dag_tasks(
+        self, graph: TaskGraph
+    ) -> tuple[list[SimTask], dict[str, list[str]]]:
+        """Lower graph nodes to SimTasks with locality and dependency maps."""
+        labels = [f"n{node.uid}:{node.kind}" for node in graph.nodes]
+        tasks: list[SimTask] = []
+        deps: dict[str, list[str]] = {}
+        for node in graph.nodes:
+            tasks.append(
+                SimTask(
+                    label=labels[node.uid],
+                    cost=node.cost,
+                    preferred_machine=self._dag_preferred(node),
+                    fetch_bytes=node.data_size,
+                    kind=node.kind,
+                )
+            )
+            deps[labels[node.uid]] = [labels[dep] for dep in node.deps]
+        return tasks, deps
+
+    def _dag_preferred(self, node: TaskNode) -> int | None:
+        """Locality score: block-store placement for split-bound nodes,
+        distributed-cache ownership for memoized state, and the reducer's
+        memo home for the rest of its tree."""
+        if node.split_uid is not None:
+            if self.blocks is not None:
+                return self.blocks.preferred_machine(node.split_uid)
+            return stable_hash(node.split_uid, salt="splitloc") % len(
+                self.cluster
+            )
+        if node.memo_uid is not None and self.cache is not None:
+            owner = self.cache.owner_of(node.memo_uid)
+            if owner is not None and self.cluster.machine(owner).alive:
+                return owner
+        if node.reducer is not None:
+            return stable_hash(
+                (self.job.name, node.reducer), salt="memoloc"
+            ) % len(self.cluster)
+        return None
 
     def _execute_under_chaos(
         self,

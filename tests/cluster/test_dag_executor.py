@@ -1,0 +1,186 @@
+"""Unit tests for dependency-aware DAG execution."""
+
+import pytest
+
+from repro.cluster.chaos import ChaosSchedule, MachineCrash
+from repro.cluster.executor import (
+    critical_path_priority,
+    execute_dag,
+    execute_two_waves,
+)
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.cluster.scheduler import HadoopScheduler, HybridScheduler, SimTask
+from repro.common.errors import SchedulingError
+
+
+def quiet_cluster(n=4, slots=2, **kwargs) -> Cluster:
+    return Cluster(
+        ClusterConfig(
+            num_machines=n,
+            slots_per_machine=slots,
+            straggler_fraction=0.0,
+            **kwargs,
+        )
+    )
+
+
+def task(label, cost=1.0, kind="map", preferred=None):
+    return SimTask(label=label, cost=cost, kind=kind,
+                   preferred_machine=preferred)
+
+
+class TestCriticalPathPriority:
+    def test_chain_accumulates_downward(self):
+        tasks = [task("a", 1.0), task("b", 2.0), task("c", 4.0)]
+        parents = {"b": ("a",), "c": ("b",)}
+        priority = critical_path_priority(tasks, parents)
+        assert priority == {"c": 4.0, "b": 6.0, "a": 7.0}
+
+    def test_diamond_takes_heavier_branch(self):
+        tasks = [task("a", 1.0), task("b", 10.0), task("c", 2.0),
+                 task("d", 3.0)]
+        parents = {"b": ("a",), "c": ("a",), "d": ("b", "c")}
+        priority = critical_path_priority(tasks, parents)
+        assert priority["a"] == 14.0
+        assert priority["b"] == 13.0
+        assert priority["c"] == 5.0
+
+    def test_cycle_raises(self):
+        tasks = [task("a"), task("b")]
+        with pytest.raises(SchedulingError, match="cycle"):
+            critical_path_priority(tasks, {"a": ("b",), "b": ("a",)})
+
+
+class TestExecuteDag:
+    def test_chain_is_serialised(self):
+        """Dependencies gate readiness: a 3-task chain of unit tasks takes
+        3 time units no matter how many slots are free."""
+        tasks = [task(f"t{i}", 1.0) for i in range(3)]
+        deps = {"t1": ["t0"], "t2": ["t1"]}
+        report = execute_dag(tasks, deps, quiet_cluster(8), HadoopScheduler())
+        assert report.makespan == pytest.approx(3.0)
+
+    def test_independent_tasks_run_in_parallel(self):
+        tasks = [task(f"t{i}", 1.0) for i in range(6)]
+        report = execute_dag(tasks, {}, quiet_cluster(4, 2), HadoopScheduler())
+        assert report.makespan == pytest.approx(1.0)
+
+    def test_makespan_at_least_critical_path(self):
+        tasks = [task("a", 2.0), task("b", 3.0), task("c", 1.0),
+                 task("d", 4.0)]
+        deps = {"c": ["a", "b"], "d": ["c"]}
+        report = execute_dag(tasks, deps, quiet_cluster(), HadoopScheduler())
+        # Heaviest chain: b(3) -> c(1) -> d(4) = 8.
+        assert report.makespan >= 8.0 - 1e-9
+
+    def test_dependent_starts_after_its_deps_finish(self):
+        tasks = [task("a", 2.0), task("b", 5.0), task("c", 1.0)]
+        deps = {"c": ["a", "b"]}
+        report = execute_dag(tasks, deps, quiet_cluster(), HadoopScheduler())
+        finish = {a.task.label: a.finish for a in report.assignments}
+        start = {a.task.label: a.start for a in report.assignments}
+        assert start["c"] >= max(finish["a"], finish["b"]) - 1e-9
+
+    def test_critical_path_scheduled_first(self):
+        """With one slot, the head of the heavy chain runs before an
+        equal-cost task with nothing below it."""
+        tasks = [task("heavy-head", 1.0), task("tail", 9.0),
+                 task("loner", 1.0)]
+        deps = {"tail": ["heavy-head"]}
+        report = execute_dag(
+            tasks, deps, quiet_cluster(1, 1), HadoopScheduler()
+        )
+        start = {a.task.label: a.start for a in report.assignments}
+        assert start["heavy-head"] < start["loner"]
+        assert report.makespan == pytest.approx(11.0)
+
+    def test_no_barrier_beats_two_waves(self):
+        """A reduce whose inputs are ready early starts before the last
+        map finishes — impossible under the two-wave barrier."""
+        maps = [task(f"m{i}", 1.0) for i in range(2)] + [task("m-slow", 10.0)]
+        reduces = [task("r0", 5.0, kind="reduce"),
+                   task("r1", 5.0, kind="reduce")]
+        deps = {"r0": ["m0"], "r1": ["m1"]}
+        cluster_a, cluster_b = quiet_cluster(4), quiet_cluster(4)
+        dag = execute_dag(
+            maps + reduces, deps, cluster_a, HadoopScheduler()
+        )
+        waves = execute_two_waves(
+            maps, reduces, cluster_b, HadoopScheduler()
+        )
+        assert dag.makespan < waves.makespan
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(SchedulingError, match="duplicate"):
+            execute_dag(
+                [task("x"), task("x")], {}, quiet_cluster(), HadoopScheduler()
+            )
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown"):
+            execute_dag(
+                [task("a")], {"a": ["ghost"]}, quiet_cluster(),
+                HadoopScheduler(),
+            )
+
+    def test_unknown_dependent_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown"):
+            execute_dag(
+                [task("a")], {"ghost": ["a"]}, quiet_cluster(),
+                HadoopScheduler(),
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SchedulingError, match="cycle"):
+            execute_dag(
+                [task("a"), task("b")],
+                {"a": ["b"], "b": ["a"]},
+                quiet_cluster(),
+                HadoopScheduler(),
+            )
+
+    def test_deterministic(self):
+        tasks = [task(f"t{i}", float(1 + i % 3)) for i in range(12)]
+        deps = {f"t{i}": [f"t{i - 3}"] for i in range(3, 12)}
+        runs = [
+            execute_dag(tasks, dict(deps), quiet_cluster(3), HybridScheduler())
+            for _ in range(2)
+        ]
+        assert runs[0].makespan == runs[1].makespan
+        assert [a.machine_id for a in runs[0].assignments] == [
+            a.machine_id for a in runs[1].assignments
+        ]
+
+    def test_zero_cost_tasks_complete(self):
+        tasks = [task("a", 0.0), task("b", 0.0), task("c", 1.0)]
+        deps = {"b": ["a"], "c": ["b"]}
+        report = execute_dag(tasks, deps, quiet_cluster(), HadoopScheduler())
+        assert report.makespan == pytest.approx(1.0)
+        assert len(report.assignments) == 3
+
+    def test_map_finish_tracks_map_kind(self):
+        tasks = [task("m", 2.0, kind="map"),
+                 task("r", 3.0, kind="reduce")]
+        report = execute_dag(
+            tasks, {"r": ["m"]}, quiet_cluster(), HadoopScheduler()
+        )
+        assert report.map_finish == pytest.approx(2.0)
+        assert report.makespan == pytest.approx(5.0)
+
+    def test_survives_machine_crash(self):
+        """A crash mid-DAG loses the running attempt; the task retries and
+        the DAG still completes with every assignment present."""
+        tasks = [task(f"t{i}", 4.0) for i in range(4)]
+        deps = {"t3": ["t0", "t1", "t2"]}
+        chaos = ChaosSchedule(
+            crashes=(MachineCrash(machine_id=0, time=1.0),)
+        )
+        report = execute_dag(
+            tasks, deps, quiet_cluster(3, 1), HadoopScheduler(), chaos=chaos
+        )
+        assert len(report.assignments) == 4
+        assert report.stats.crashes == 1
+        assert report.stats.lost_attempts >= 1
+        finish = {a.task.label: a.finish for a in report.assignments}
+        start = {a.task.label: a.start for a in report.assignments}
+        assert start["t3"] >= max(finish[f"t{i}"] for i in range(3)) - 1e-9

@@ -68,3 +68,62 @@ def test_delta_composes_to_full_output():
     for key in result.changed_keys:
         patched[key] = result.outputs[key]
     assert patched == result.outputs
+
+
+def test_full_eviction_reports_everything_removed():
+    """Sliding every split out empties the output and reports all keys as
+    removed, none as changed."""
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    slider.initial_run([split_of(["a", "b"], "s0"), split_of(["c"], "s1")])
+    result = slider.advance([], removed=2)
+    assert result.outputs == {}
+    assert result.removed_keys == {"a", "b", "c"}
+    assert result.changed_keys == frozenset()
+
+
+def test_full_eviction_then_refill():
+    """A window emptied and refilled reports the new keys as changed."""
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    slider.initial_run([split_of(["a"], "s0")])
+    slider.advance([], removed=1)
+    result = slider.advance([split_of(["b", "b"], "s1")], removed=0)
+    assert result.outputs == {"b": 2}
+    assert result.changed_keys == {"b"}
+    assert result.removed_keys == frozenset()
+
+
+def test_collect_garbage_shrinks_space():
+    """Memoized state for evicted splits is dropped by collect_garbage,
+    and space() reflects the shrink."""
+    from repro.slider.system import SliderConfig
+
+    config = SliderConfig(mode=WindowMode.VARIABLE, auto_gc=False)
+    slider = Slider(count_job(), WindowMode.VARIABLE, config=config)
+    slider.initial_run(
+        [split_of([f"k{i}", f"k{i}x"], f"s{i}") for i in range(6)]
+    )
+    # Slide most of the window out without garbage collection.
+    slider.advance([split_of(["fresh"], "s9")], removed=5)
+    before = slider.space()
+    dropped = slider.collect_garbage()
+    after = slider.space()
+    assert dropped > 0
+    assert after < before
+    # Outputs are untouched by garbage collection.
+    assert slider.verify_outputs() > 0
+
+
+def test_auto_gc_keeps_space_bounded():
+    """With auto_gc on (the default), sliding a fixed-size window does not
+    accumulate memoized state for long-gone splits."""
+    slider = Slider(count_job(), WindowMode.VARIABLE)
+    slider.initial_run([split_of([f"w{i}"], f"s{i}") for i in range(4)])
+    sizes = []
+    for step in range(8):
+        result = slider.advance(
+            [split_of([f"w{4 + step}"], f"s{4 + step}")], removed=1
+        )
+        sizes.append(result.report.space)
+    # The window stays 4 splits wide; space must plateau, not grow
+    # linearly with the number of runs.
+    assert max(sizes[4:]) <= max(sizes[:4]) + 1e-9

@@ -47,11 +47,19 @@ def test_snapshot_and_reset():
     assert meter.task_costs == []
 
 
-def test_task_costs_recorded():
-    meter = WorkMeter()
+def test_task_costs_recorded_when_tracking_enabled():
+    meter = WorkMeter(_task_tracking=True)
     meter.charge(Phase.MAP, 1.0)
     meter.charge(Phase.REDUCE, 2.0)
     assert meter.task_costs == [(Phase.MAP, 1.0), (Phase.REDUCE, 2.0)]
+
+
+def test_task_costs_off_by_default():
+    meter = WorkMeter()
+    meter.charge(Phase.MAP, 1.0)
+    meter.charge(Phase.REDUCE, 2.0)
+    assert meter.task_costs == []
+    assert meter.total() == 3.0
 
 
 def test_speedup_over():
