@@ -21,6 +21,7 @@ from repro.metrics import RunReport
 from repro.slider.baseline import VanillaRunner
 from repro.slider.system import Slider, SliderConfig
 from repro.slider.window import WindowMode
+from repro.telemetry import TelemetrySnapshot
 
 #: Runner variants benchmarks may request.
 VARIANTS = ("slider", "vanilla", "strawman")
@@ -61,6 +62,10 @@ class WindowExperiment:
     #: (only populated when the experiment ran with background rounds).
     background_work: list[float] = field(default_factory=list)
     outputs_digest: int = 0
+    #: Frozen view of the runner's telemetry backbone after the last run:
+    #: per-phase work, counters, span counts.  Reports read this instead
+    #: of poking at runner internals.
+    telemetry: TelemetrySnapshot | None = None
 
     def mean_incremental_work(self) -> float:
         return _mean([r.work for r in self.incremental])
@@ -161,6 +166,7 @@ def run_experiment(
         result = runner.advance(added, removed)
         experiment.incremental.append(result.report)
     experiment.outputs_digest = _digest(result.outputs)
+    experiment.telemetry = runner.telemetry.snapshot()
     return experiment
 
 

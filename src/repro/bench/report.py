@@ -89,7 +89,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="only run benchmarks matching this pytest -k expression",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also export one micro-benchmark run as Chrome trace JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.telemetry.export import export_micro_benchmark_trace
+
+        trace = export_micro_benchmark_trace(args.trace)
+        print(f"wrote {args.trace}: {len(trace['traceEvents'])} trace events")
 
     extra = ["-k", args.k] if args.k else None
     raw = run_benchmarks(args.benchmarks, extra)

@@ -23,6 +23,7 @@ from repro.common.errors import CacheMissError
 from repro.common.hashing import stable_hash
 from repro.core.memo import MemoBacking
 from repro.core.partition import Partition
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,17 @@ class ReadStats:
     def total_reads(self) -> int:
         return self.memory_reads + self.fallback_reads
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from memory; 0.0 before any lookup."""
+        lookups = self.memory_reads + self.fallback_reads + self.misses
+        return self.memory_reads / lookups if lookups else 0.0
+
+
+#: Public alias: these *are* the cache's statistics; ``ReadStats`` is the
+#: historical name kept for existing call sites.
+CacheStats = ReadStats
+
 
 class DistributedMemoCache(MemoBacking):
     """Cluster-wide memoization store with master index and replicas.
@@ -71,9 +83,16 @@ class DistributedMemoCache(MemoBacking):
     through to this layer, and stores write through to it.
     """
 
-    def __init__(self, cluster: Cluster, config: CacheConfig | None = None) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: CacheConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.cluster = cluster
         self.config = config or CacheConfig()
+        #: Telemetry backbone to mirror hit/miss/repair counters into.
+        self.telemetry = telemetry
         #: Per-machine in-memory stores: machine_id -> {uid: partition}.
         self._memory: dict[int, dict[int, Partition]] = {
             m.machine_id: {} for m in cluster.machines
@@ -127,6 +146,8 @@ class DistributedMemoCache(MemoBacking):
                     self.config.lookup_overhead
                     + self.config.memory_read_cost * max(1, len(found))
                 )
+                if self.telemetry is not None:
+                    self.telemetry.count("cache.memory_reads")
                 return found
         # Fall back to a persistent replica on any alive machine.
         for machine in self.cluster.machines:
@@ -138,6 +159,8 @@ class DistributedMemoCache(MemoBacking):
                 self.stats.read_time += self.config.lookup_overhead + (
                     self.config.disk_read_cost + self.config.network_read_cost
                 ) * max(1, len(found))
+                if self.telemetry is not None:
+                    self.telemetry.count("cache.fallback_reads")
                 # Promote back into memory for future reads.
                 if self.config.in_memory_enabled:
                     new_owner = self._place(uid)
@@ -145,6 +168,8 @@ class DistributedMemoCache(MemoBacking):
                     self._index[uid] = new_owner
                 return found
         self.stats.misses += 1
+        if self.telemetry is not None:
+            self.telemetry.count("cache.misses")
         return None
 
     def fetch_or_raise(self, uid: int) -> Partition:
@@ -219,6 +244,9 @@ class DistributedMemoCache(MemoBacking):
                 ) * size
                 copied += size
                 needed -= 1
+        if self.telemetry is not None and copied:
+            self.telemetry.count("cache.repair_bytes", delta=copied)
+            self.telemetry.instant("cache.repair", bytes=copied)
         return copied
 
     # -- accounting ----------------------------------------------------------
@@ -263,6 +291,8 @@ class GarbageCollector:
         for uid in dead:
             self.cache.delete(uid)
         self.collected += len(dead)
+        if self.cache.telemetry is not None and dead:
+            self.cache.telemetry.count("cache.evictions", delta=len(dead))
         self._insertion_order = [
             uid for uid in self._insertion_order if uid in live_uids
         ]
@@ -280,4 +310,6 @@ class GarbageCollector:
                 dropped += 1
                 excess -= 1
         self.collected += dropped
+        if self.cache.telemetry is not None and dropped:
+            self.cache.telemetry.count("cache.evictions", delta=dropped)
         return dropped

@@ -41,6 +41,7 @@ from repro.cluster.scheduler import Assignment, Scheduler, SimTask
 from repro.cluster.simulation import EventQueue, SimClock
 from repro.common.errors import SchedulingError, TaskFailedError
 from repro.common.hashing import stable_hash
+from repro.telemetry import SpanKind, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.cluster.chaos import ChaosSchedule
@@ -218,12 +219,16 @@ class WaveExecutor:
         chaos: "ChaosSchedule | None" = None,
         hooks: ExecutorHooks | None = None,
         start_time: float = 0.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.config = config or ExecutorConfig()
         self.chaos = chaos
         self.hooks = hooks or ExecutorHooks()
+        #: Telemetry backbone to emit attempt spans and fault events into;
+        #: ``None`` keeps the executor silent (standalone/unit-test use).
+        self.telemetry = telemetry
         self.clock = SimClock()
         if start_time:
             self.clock.advance_to(start_time)
@@ -544,12 +549,33 @@ class WaveExecutor:
             commitment.state, machine_id, slot_index, commitment.fetched
         )
 
+    def _record_attempt(self, attempt: TaskAttempt) -> None:
+        """Emit a terminal attempt into the telemetry backbone, on its
+        machine/slot trace lane with simulated-clock timestamps."""
+        if self.telemetry is None or attempt.finish is None:
+            return
+        self.telemetry.record_span(
+            f"{attempt.task.label}#{attempt.number}",
+            SpanKind.ATTEMPT,
+            start=attempt.start,
+            end=attempt.finish,
+            thread=f"m{attempt.machine_id}.s{attempt.slot_index}",
+            task_kind=attempt.task.kind,
+            state=attempt.state.value,
+            speculative=attempt.speculative,
+            ghost=attempt.ghost,
+        )
+        self.telemetry.count(
+            f"executor.attempts.{attempt.state.value}", ts=attempt.finish
+        )
+
     def _on_finish(self, attempt: TaskAttempt) -> None:
         if self._attempt_event_is_stale(attempt):
             return  # zombie on a crashed machine; the detect sweep reaps it
         now = self.clock.now
         attempt.state = AttemptState.FINISHED
         attempt.finish = now
+        self._record_attempt(attempt)
         self._release_slot(attempt)
         self.stats.attempts_finished += 1
         state = self._owner[attempt]
@@ -574,6 +600,7 @@ class WaveExecutor:
                 continue
             sibling.state = AttemptState.KILLED
             sibling.finish = now
+            self._record_attempt(sibling)
             if not sibling.ghost:
                 self._release_slot(sibling)
             self.stats.speculative_waste += max(0.0, now - sibling.start)
@@ -588,6 +615,7 @@ class WaveExecutor:
         now = self.clock.now
         attempt.state = AttemptState.FAILED
         attempt.finish = now
+        self._record_attempt(attempt)
         self._release_slot(attempt)
         self.stats.transient_failures += 1
         self.stats.wasted_work += max(0.0, now - attempt.start)
@@ -626,6 +654,11 @@ class WaveExecutor:
         self.cluster.kill(machine_id)
         self._epoch[machine_id] += 1
         self.stats.crashes += 1
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.crash", ts=self.clock.now, machine=machine_id
+            )
+            self.telemetry.count("executor.crashes", ts=self.clock.now)
         self.events.push(
             self.clock.now + self.config.heartbeat_timeout,
             ("detect", machine_id, self.clock.now),
@@ -651,6 +684,7 @@ class WaveExecutor:
                 continue
             attempt.state = AttemptState.LOST
             attempt.finish = now
+            self._record_attempt(attempt)
             self.stats.lost_attempts += 1
             if crash_time is not None:
                 self.stats.detection_delay += now - crash_time
@@ -664,6 +698,13 @@ class WaveExecutor:
         self.stats.crashes_detected += 1
         if not machine.alive:
             self._visible[machine_id] = False
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.detect",
+                ts=self.clock.now,
+                machine=machine_id,
+                crash_time=crash_time,
+            )
         self._reap_machine(machine_id, crash_time)
         if self.hooks.on_detect is not None:
             self.hooks.on_detect(machine_id, self.clock.now)
@@ -677,6 +718,11 @@ class WaveExecutor:
         self._epoch[machine_id] += 1
         self._visible[machine_id] = True
         self.stats.recoveries += 1
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.recover", ts=self.clock.now, machine=machine_id
+            )
+            self.telemetry.count("executor.recoveries", ts=self.clock.now)
         # A restart loses in-flight attempts immediately (the rejoining
         # worker reports no tasks); no detection delay applies.
         self._reap_machine(machine_id, None)
@@ -688,11 +734,22 @@ class WaveExecutor:
         machine = self.cluster.machine(machine_id)
         self._straggle_originals.setdefault(machine_id, machine.straggle)
         machine.straggle = factor
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.straggle_on",
+                ts=self.clock.now,
+                machine=machine_id,
+                factor=factor,
+            )
         self._replan()
 
     def _on_straggle_off(self, machine_id: int) -> None:
         original = self._straggle_originals.pop(machine_id, 1.0)
         self.cluster.machine(machine_id).straggle = original
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.straggle_off", ts=self.clock.now, machine=machine_id
+            )
         self._replan()
 
     # -- speculation --------------------------------------------------------
@@ -900,6 +957,7 @@ def execute_dag(
     config: ExecutorConfig | None = None,
     chaos: "ChaosSchedule | None" = None,
     hooks: ExecutorHooks | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ExecutionReport:
     """Execute a task DAG on the event-driven executor.
 
@@ -909,7 +967,8 @@ def execute_dag(
     task's ``preferred_machine``), and ties break critical-path-first.
     """
     executor = DagExecutor(
-        cluster, scheduler, config=config, chaos=chaos, hooks=hooks
+        cluster, scheduler, config=config, chaos=chaos, hooks=hooks,
+        telemetry=telemetry,
     )
     try:
         finish, assignments = executor.run_dag(tasks, deps)
@@ -936,11 +995,12 @@ def execute_wave(
     config: ExecutorConfig | None = None,
     chaos: "ChaosSchedule | None" = None,
     hooks: ExecutorHooks | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ExecutionReport:
     """Execute a single wave; the event-driven analogue of ``simulate_wave``."""
     executor = WaveExecutor(
         cluster, scheduler, config=config, chaos=chaos, hooks=hooks,
-        start_time=start_time,
+        start_time=start_time, telemetry=telemetry,
     )
     try:
         finish, assignments = executor.run(tasks)
@@ -963,10 +1023,11 @@ def execute_two_waves(
     config: ExecutorConfig | None = None,
     chaos: "ChaosSchedule | None" = None,
     hooks: ExecutorHooks | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ExecutionReport:
     """Maps, a shuffle barrier, then reduces — one job's fault-tolerant run."""
     executor = WaveExecutor(cluster, scheduler, config=config, chaos=chaos,
-                            hooks=hooks)
+                            hooks=hooks, telemetry=telemetry)
     try:
         map_finish, map_log = executor.run(map_tasks)
         reduce_finish, reduce_log = executor.run(reduce_tasks)

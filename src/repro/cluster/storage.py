@@ -16,6 +16,7 @@ from repro.cluster.machine import Cluster
 from repro.common.errors import SchedulingError
 from repro.common.hashing import stable_hash
 from repro.mapreduce.types import Split
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -30,14 +31,30 @@ class BlockInfo:
 class BlockStore:
     """Cluster-wide replicated storage of input splits."""
 
-    def __init__(self, cluster: Cluster, replication: int = 3) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        replication: int = 3,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if replication <= 0:
             raise ValueError(f"replication must be positive, got {replication}")
         self.cluster = cluster
         self.replication = replication
+        #: Telemetry backbone to emit replication events/counters into.
+        self.telemetry = telemetry
         self._blocks: dict[int, BlockInfo] = {}
         #: Abstract bytes copied by re-replication after failures.
         self.repair_traffic = 0.0
+        #: Map-locality outcomes of ``preferred_machine`` lookups.
+        self.locality_hits = 0
+        self.locality_misses = 0
+
+    @property
+    def locality_hit_rate(self) -> float:
+        """Fraction of locality lookups that found an alive replica."""
+        lookups = self.locality_hits + self.locality_misses
+        return self.locality_hits / lookups if lookups else 0.0
 
     # -- writes -------------------------------------------------------------
 
@@ -68,7 +85,9 @@ class BlockStore:
         """The first *alive* replica holder — Map locality target."""
         for machine_id in self.replicas_of(split_uid):
             if self.cluster.machine(machine_id).alive:
+                self.locality_hits += 1
                 return machine_id
+        self.locality_misses += 1
         return None
 
     def is_local(self, split_uid: int, machine_id: int) -> bool:
@@ -101,6 +120,12 @@ class BlockStore:
                 info.replicas.append(replacement)
                 self.repair_traffic += info.size
                 repaired += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("storage.repair_traffic", delta=info.size)
+        if self.telemetry is not None and repaired:
+            self.telemetry.instant(
+                "storage.re_replicate", machine=machine_id, blocks=repaired
+            )
         return repaired
 
     def repair(self) -> int:
@@ -124,6 +149,10 @@ class BlockStore:
                 info.replicas.append(replacement)
                 self.repair_traffic += info.size
                 repaired += 1
+                if self.telemetry is not None:
+                    self.telemetry.count("storage.repair_traffic", delta=info.size)
+        if self.telemetry is not None and repaired:
+            self.telemetry.instant("storage.re_replicate", blocks=repaired)
         return repaired
 
     # -- placement ----------------------------------------------------------------

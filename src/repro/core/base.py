@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.core.memo import MemoTable
 from repro.core.partition import Partition, combine_partitions
 from repro.metrics import Phase, WorkMeter
+from repro.telemetry import SpanKind
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.mapreduce
     from repro.core.taskgraph import GraphRecorder
@@ -117,6 +118,16 @@ class ContractionTree(ABC):
             return recorder
         return None
 
+    def _level_span(self, tree: str, level: int):
+        """Open a TREE_LEVEL span around one level's contraction sweep.
+
+        The per-level work table (:mod:`repro.telemetry.worktable`)
+        aggregates these spans to check the asymptotic-analysis bounds.
+        """
+        return self.meter.telemetry.span(
+            f"{tree}:L{level}", SpanKind.TREE_LEVEL, tree=tree, level=level
+        )
+
     def _combine(
         self,
         parts: Sequence[Partition],
@@ -135,6 +146,17 @@ class ContractionTree(ABC):
         level structure; it labels the task-graph node when a run's graph
         is being recorded.
         """
+        with self.meter.telemetry.span(node or "combine", SpanKind.TASK):
+            return self._combine_inner(parts, phase, memo_uid, cost_scale, node)
+
+    def _combine_inner(
+        self,
+        parts: Sequence[Partition],
+        phase: Phase,
+        memo_uid: int | None,
+        cost_scale: float,
+        node: str,
+    ) -> Partition:
         recorder = self._active_recorder()
         if memo_uid is not None:
             cached = self.memo.lookup(memo_uid)
@@ -205,10 +227,11 @@ class ContractionTree(ABC):
     ) -> None:
         """Charge (and record) a memoized result moving through the tree —
         the strawman's per-node visit cost on reuse."""
-        self.meter.charge(Phase.MEMO_READ, cost)
-        recorder = self._active_recorder()
-        if recorder is not None:
-            recorder.memo_read(value, cost=cost, label=node)
+        with self.meter.telemetry.span(node or "memo-visit", SpanKind.TASK):
+            self.meter.charge(Phase.MEMO_READ, cost)
+            recorder = self._active_recorder()
+            if recorder is not None:
+                recorder.memo_read(value, cost=cost, label=node)
 
     def _check_initial(self, done: bool) -> None:
         if done and self._ran_initial:

@@ -36,9 +36,10 @@ class CoalescingTree(ContractionTree):
     def initial_run(self, leaves: Sequence[Partition]) -> Partition:
         self._check_initial(done=True)
         self._leaves = list(leaves)
-        self._root = self._combine(
-            self._leaves, phase=Phase.CONTRACTION, node="coal:root"
-        )
+        with self._level_span("coal", 1):
+            self._root = self._combine(
+                self._leaves, phase=Phase.CONTRACTION, node="coal:root"
+            )
         self._reduce_input = self._root
         self.stats.leaves = len(self._leaves)
         self.stats.height = 1 if self._leaves else 0
@@ -55,7 +56,8 @@ class CoalescingTree(ContractionTree):
             self._reduce_input = self._effective_root()
             return self._reduce_input
 
-        delta = self._combine(added, phase=Phase.CONTRACTION, node="coal:delta")
+        with self._level_span("coal", 1):
+            delta = self._combine(added, phase=Phase.CONTRACTION, node="coal:delta")
         if self.split_mode:
             # Catch up if the background phase was skipped (best-effort).
             self._absorb_pending(Phase.CONTRACTION)

@@ -178,14 +178,15 @@ class FoldingTree(ContractionTree):
         dirty = dirty_leaves
         for level in range(1, self._height + 1):
             parents = {index // 2 for index in dirty}
-            for parent in parents:
-                left = self._node_value(level - 1, parent * 2)
-                right = self._node_value(level - 1, parent * 2 + 1)
-                self._cache[(level, parent)] = self._combine(
-                    [left, right],
-                    phase=Phase.CONTRACTION,
-                    node=f"fold:L{level}.{parent}",
-                )
+            with self._level_span("fold", level):
+                for parent in parents:
+                    left = self._node_value(level - 1, parent * 2)
+                    right = self._node_value(level - 1, parent * 2 + 1)
+                    self._cache[(level, parent)] = self._combine(
+                        [left, right],
+                        phase=Phase.CONTRACTION,
+                        node=f"fold:L{level}.{parent}",
+                    )
             dirty = parents
 
     def _node_value(self, level: int, index: int) -> Partition:

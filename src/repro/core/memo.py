@@ -14,6 +14,7 @@ from typing import Callable
 
 from repro.core.partition import Partition
 from repro.metrics import Phase, WorkMeter
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -39,6 +40,8 @@ class MemoTable:
     entries: dict[int, Partition] = field(default_factory=dict)
     stats: MemoStats = field(default_factory=MemoStats)
     backing: "MemoBacking | None" = None
+    #: Telemetry backbone to mirror hit/miss/eviction counters into.
+    telemetry: "Telemetry | None" = None
 
     def lookup(self, uid: int) -> Partition | None:
         found = self.entries.get(uid)
@@ -48,8 +51,12 @@ class MemoTable:
                 self.entries[uid] = found
         if found is None:
             self.stats.misses += 1
+            if self.telemetry is not None:
+                self.telemetry.count("memo.misses")
         else:
             self.stats.hits += 1
+            if self.telemetry is not None:
+                self.telemetry.count("memo.hits")
         return found
 
     def store(self, uid: int, value: Partition) -> None:
@@ -60,6 +67,8 @@ class MemoTable:
     def discard(self, uid: int) -> None:
         if self.entries.pop(uid, None) is not None:
             self.stats.evictions += 1
+            if self.telemetry is not None:
+                self.telemetry.count("memo.evictions")
         if self.backing is not None:
             self.backing.delete(uid)
 

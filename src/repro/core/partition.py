@@ -2,8 +2,11 @@
 
 A Partition maps keys to combined values.  Combining two partitions applies
 the job's Combiner per key; the work charged is the combiner's declared merge
-cost, scaled by the job's combine cost factor.  Partitions carry a stable
-content id so identical results share memo entries.
+cost, scaled by the job's combine cost factor.  Charges go through the
+meter's :class:`~repro.telemetry.Telemetry` backbone, so they attribute to
+every open span (run, window update, phase, tree level, task) at once.
+Partitions carry a stable content id so identical results share memo
+entries.
 """
 
 from __future__ import annotations

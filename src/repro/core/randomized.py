@@ -94,23 +94,27 @@ class RandomizedFoldingTree(ContractionTree):
         # contract them into the root directly — coin-flipping the last few
         # nodes down would only add expensive near-root levels.
         while len(level) > 2 and height < _MAX_LEVELS:
-            next_level: list[tuple[int, Partition]] = []
-            group: list[tuple[int, Partition]] = []
-            for uid, value in level:
-                group.append((uid, value))
-                if self._coin(uid, height):
+            with self._level_span("rft", height + 1):
+                next_level: list[tuple[int, Partition]] = []
+                group: list[tuple[int, Partition]] = []
+                for uid, value in level:
+                    group.append((uid, value))
+                    if self._coin(uid, height):
+                        next_level.append(
+                            self._contract_group(height, group, live_uids)
+                        )
+                        group = []
+                if group:
                     next_level.append(self._contract_group(height, group, live_uids))
-                    group = []
-            if group:
-                next_level.append(self._contract_group(height, group, live_uids))
-            if len(next_level) == len(level):
-                # No boundary fired (possible for tiny levels): force one
-                # merge so the construction always converges.
-                next_level = [self._contract_group(height, level, live_uids)]
+                if len(next_level) == len(level):
+                    # No boundary fired (possible for tiny levels): force one
+                    # merge so the construction always converges.
+                    next_level = [self._contract_group(height, level, live_uids)]
             level = next_level
             height += 1
         if len(level) > 1:
-            level = [self._contract_group(height, level, live_uids)]
+            with self._level_span("rft", height + 1):
+                level = [self._contract_group(height, level, live_uids)]
             height += 1
 
         self.stats.height = height

@@ -74,26 +74,27 @@ class StrawmanTree(ContractionTree):
         fresh: dict[tuple[int, int], tuple[int, int, Partition]] = {}
         while len(level) > 1:
             next_level: list[Partition] = []
-            for i in range(0, len(level) - 1, 2):
-                left, right = level[i], level[i + 1]
-                position = (height, i // 2)
-                cached = self._cache.get(position)
-                if cached is not None and cached[:2] == (left.uid, right.uid):
-                    value = cached[2]
-                    self.stats.combiner_reuses += 1
-                    # Data movement for the memoized output (the strawman's
-                    # linear visit cost).
-                    self._memo_visit(
-                        value,
-                        self.visit_cost * max(1, len(value)),
-                        node=f"straw:L{height}.{i // 2}",
-                    )
-                else:
-                    value = self._combine(
-                        [left, right], node=f"straw:L{height}.{i // 2}"
-                    )
-                fresh[position] = (left.uid, right.uid, value)
-                next_level.append(value)
+            with self._level_span("straw", height + 1):
+                for i in range(0, len(level) - 1, 2):
+                    left, right = level[i], level[i + 1]
+                    position = (height, i // 2)
+                    cached = self._cache.get(position)
+                    if cached is not None and cached[:2] == (left.uid, right.uid):
+                        value = cached[2]
+                        self.stats.combiner_reuses += 1
+                        # Data movement for the memoized output (the strawman's
+                        # linear visit cost).
+                        self._memo_visit(
+                            value,
+                            self.visit_cost * max(1, len(value)),
+                            node=f"straw:L{height}.{i // 2}",
+                        )
+                    else:
+                        value = self._combine(
+                            [left, right], node=f"straw:L{height}.{i // 2}"
+                        )
+                    fresh[position] = (left.uid, right.uid, value)
+                    next_level.append(value)
             if len(level) % 2:
                 next_level.append(level[-1])  # odd node promotes unchanged
             level = next_level

@@ -16,6 +16,7 @@ from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.shuffle import HashPartitioner, run_map_task, shuffle_map_outputs
 from repro.mapreduce.types import Split
 from repro.metrics import Phase, WorkMeter
+from repro.telemetry import SpanKind, Telemetry
 
 
 @dataclass
@@ -47,53 +48,73 @@ class JobResult:
 class BatchRuntime:
     """Non-incremental executor for MapReduceJobs."""
 
-    def __init__(self, job: MapReduceJob) -> None:
+    def __init__(
+        self, job: MapReduceJob, telemetry: Telemetry | None = None
+    ) -> None:
         self.job = job
         self.partitioner = HashPartitioner(job.num_reducers)
+        #: Long-lived telemetry backbone to graft each run's span tree
+        #: into.  Every ``run`` still accounts into its own fresh meter —
+        #: the seed behaviour, and what keeps its totals bit-identical —
+        #: and the finished tree is adopted here for the combined trace.
+        self.telemetry = telemetry
 
-    def run(self, splits: Sequence[Split]) -> JobResult:
+    def run(self, splits: Sequence[Split], label: str = "batch") -> JobResult:
         """Execute the full job over ``splits`` from scratch."""
         meter = WorkMeter()
+        scope = meter.telemetry
         tasks: list[TaskRecord] = []
 
-        map_outputs: list[list[Partition]] = []
-        for split in splits:
-            before = meter.total()
-            partitions = run_map_task(
-                self.job, split.records, self.partitioner, meter
-            )
-            map_outputs.append(partitions)
-            tasks.append(
-                TaskRecord(
-                    kind="map",
-                    label=f"map:{split.label or split.uid}",
-                    cost=meter.total() - before,
-                    input_bytes=float(len(split)),
-                    split_uid=split.uid,
-                )
-            )
+        with scope.span(label, SpanKind.WINDOW_UPDATE):
+            map_outputs: list[list[Partition]] = []
+            with scope.span("map", SpanKind.PHASE):
+                for split in splits:
+                    before = meter.total()
+                    partitions = run_map_task(
+                        self.job,
+                        split.records,
+                        self.partitioner,
+                        meter,
+                        label=f"map:{split.label or split.uid}",
+                    )
+                    map_outputs.append(partitions)
+                    tasks.append(
+                        TaskRecord(
+                            kind="map",
+                            label=f"map:{split.label or split.uid}",
+                            cost=meter.total() - before,
+                            input_bytes=float(len(split)),
+                            split_uid=split.uid,
+                        )
+                    )
 
-        per_reducer = shuffle_map_outputs(map_outputs, self.job.num_reducers)
-        outputs: dict[Any, Any] = {}
-        for reducer_index, leaf_partitions in enumerate(per_reducer):
-            before = meter.total()
-            merged = combine_partitions(
-                leaf_partitions,
-                self.job.combiner,
-                meter=meter,
-                phase=Phase.REDUCE,
-                cost_factor=self.job.costs.combine_cost_factor,
-            )
-            reduced = reduce_partition(self.job, merged, meter)
-            outputs.update(reduced)
-            tasks.append(
-                TaskRecord(
-                    kind="reduce",
-                    label=f"reduce:{reducer_index}",
-                    cost=meter.total() - before,
-                    input_bytes=float(sum(len(p) for p in leaf_partitions)),
-                )
-            )
+            per_reducer = shuffle_map_outputs(map_outputs, self.job.num_reducers)
+            outputs: dict[Any, Any] = {}
+            with scope.span("reduce", SpanKind.PHASE):
+                for reducer_index, leaf_partitions in enumerate(per_reducer):
+                    before = meter.total()
+                    with scope.span(f"reduce:{reducer_index}", SpanKind.TASK):
+                        merged = combine_partitions(
+                            leaf_partitions,
+                            self.job.combiner,
+                            meter=meter,
+                            phase=Phase.REDUCE,
+                            cost_factor=self.job.costs.combine_cost_factor,
+                        )
+                        reduced = reduce_partition(self.job, merged, meter)
+                    outputs.update(reduced)
+                    tasks.append(
+                        TaskRecord(
+                            kind="reduce",
+                            label=f"reduce:{reducer_index}",
+                            cost=meter.total() - before,
+                            input_bytes=float(
+                                sum(len(p) for p in leaf_partitions)
+                            ),
+                        )
+                    )
+        if self.telemetry is not None:
+            self.telemetry.adopt(scope, name=label)
         return JobResult(outputs=outputs, meter=meter, tasks=tasks)
 
 

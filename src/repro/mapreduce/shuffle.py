@@ -8,12 +8,14 @@ contraction trees.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Iterable
 
 from repro.common.hashing import stable_hash
 from repro.core.partition import Partition
 from repro.mapreduce.job import MapReduceJob
 from repro.metrics import Phase, WorkMeter
+from repro.telemetry import SpanKind
 
 
 class HashPartitioner:
@@ -35,32 +37,46 @@ def run_map_task(
     records: Iterable[Any],
     partitioner: HashPartitioner,
     meter: WorkMeter | None = None,
+    label: str = "",
 ) -> list[Partition]:
     """Run the Map function over a split and locally combine per reducer.
 
     Returns one Partition per reducer (possibly empty).  Charges map work
     (per record, at the job's compute intensity) and shuffle work (per
-    emitted pair).
+    emitted pair).  When metered, the whole task is wrapped in a TASK span
+    (named ``label`` if given) so its map/shuffle charges are attributed.
     """
-    buffers: list[dict[Any, list[Any]]] = [
-        {} for _ in range(partitioner.num_partitions)
-    ]
-    record_count = 0
-    pair_count = 0
-    for record in records:
-        record_count += 1
-        for key, value in job.map_fn(record):
-            pair_count += 1
-            buffers[partitioner.partition(key)].setdefault(key, []).append(value)
+    scope = (
+        meter.telemetry.span(label or "map-task", SpanKind.TASK)
+        if meter is not None
+        else nullcontext()
+    )
+    with scope:
+        buffers: list[dict[Any, list[Any]]] = [
+            {} for _ in range(partitioner.num_partitions)
+        ]
+        record_count = 0
+        pair_count = 0
+        for record in records:
+            record_count += 1
+            for key, value in job.map_fn(record):
+                pair_count += 1
+                buffers[partitioner.partition(key)].setdefault(key, []).append(
+                    value
+                )
 
-    if meter is not None:
-        meter.charge(Phase.MAP, record_count * job.costs.map_cost_per_record)
-        meter.charge(Phase.SHUFFLE, pair_count * job.costs.shuffle_cost_per_pair)
+        if meter is not None:
+            meter.charge(Phase.MAP, record_count * job.costs.map_cost_per_record)
+            meter.charge(
+                Phase.SHUFFLE, pair_count * job.costs.shuffle_cost_per_pair
+            )
 
-    outputs = []
-    for buffer in buffers:
-        outputs.append(Partition.from_value_lists(buffer, job.combiner, meter=None))
-    return outputs
+        outputs = []
+        for buffer in buffers:
+            outputs.append(
+                Partition.from_value_lists(buffer, job.combiner, meter=None)
+            )
+        return outputs
 
 
 def shuffle_map_outputs(

@@ -11,49 +11,74 @@ task and combiner invocation charges, in abstract cost units proportional to
 the records it touches (scaled by the application's compute intensity).
 *Time* is the makespan of replaying the same task graph on the simulated
 cluster (:mod:`repro.cluster`).
+
+Since the telemetry refactor, :class:`WorkMeter` is a thin compatibility
+view over :class:`repro.telemetry.Telemetry`: charges flow into the span
+tree, and ``by_phase`` is the tree root's inclusive totals — bit-identical
+to the flat accumulator this class used to keep (see the bit-identity
+contract in :mod:`repro.telemetry.spans`).
 """
 
 from __future__ import annotations
 
-import enum
+import warnings
 from dataclasses import dataclass, field
 
+from repro.telemetry.spans import Phase, Telemetry
 
-class Phase(enum.Enum):
-    """The phase a unit of work is charged to."""
+__all__ = ["Phase", "WorkMeter", "RunReport", "Speedup"]
 
-    MAP = "map"
-    CONTRACTION = "contraction"
-    REDUCE = "reduce"
-    SHUFFLE = "shuffle"
-    MEMO_READ = "memo_read"
-    MEMO_WRITE = "memo_write"
-    BACKGROUND = "background"
+_UNSET = object()
 
 
-@dataclass
 class WorkMeter:
     """Accumulates abstract work units per phase.
 
     Work units are deterministic functions of the records processed, so two
     runs over the same input charge identical work, which makes
     speedup ratios exact rather than noisy wall-clock estimates.
+
+    Every meter is backed by a :class:`~repro.telemetry.Telemetry`; pass
+    one to share a span tree across components (the Slider shares one
+    backbone with its trees, caches, and executor), or omit it for a
+    private tree.
     """
 
-    by_phase: dict[Phase, float] = field(default_factory=dict)
-    #: Per-charge log, populated only when ``_task_tracking`` is on.  Off
-    #: by default: a long-lived Slider charges thousands of times per run
-    #: and the log would grow without bound; tests that inspect individual
-    #: charges opt in with ``WorkMeter(_task_tracking=True)``.
-    task_costs: list[tuple[Phase, float]] = field(default_factory=list)
-    _task_tracking: bool = False
+    def __init__(
+        self,
+        telemetry: Telemetry | None = None,
+        track_tasks: bool = False,
+        _task_tracking: object = _UNSET,
+    ) -> None:
+        if _task_tracking is not _UNSET:
+            warnings.warn(
+                "WorkMeter(_task_tracking=...) is deprecated; "
+                "use WorkMeter(track_tasks=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            track_tasks = bool(_task_tracking)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: When on, every charge is appended to :attr:`task_costs`.  Off
+        #: by default: a long-lived Slider charges thousands of times per
+        #: run and the log would grow without bound.
+        self.track_tasks = track_tasks
+        self.task_costs: list[tuple[Phase, float]] = []
+
+    @property
+    def by_phase(self) -> dict[Phase, float]:
+        """Per-phase totals, derived live from the telemetry span tree."""
+        return self.telemetry.by_phase
+
+    @property
+    def _task_tracking(self) -> bool:
+        """Deprecated read alias for :attr:`track_tasks`."""
+        return self.track_tasks
 
     def charge(self, phase: Phase, amount: float) -> None:
         """Charge ``amount`` work units to ``phase``."""
-        if amount < 0:
-            raise ValueError(f"work must be non-negative, got {amount}")
-        self.by_phase[phase] = self.by_phase.get(phase, 0.0) + amount
-        if self._task_tracking:
+        self.telemetry.charge(phase, amount)
+        if self.track_tasks:
             self.task_costs.append((phase, amount))
 
     def total(self) -> float:
@@ -62,7 +87,8 @@ class WorkMeter:
 
     def phase_total(self, *phases: Phase) -> float:
         """Total work across the given phases."""
-        return sum(self.by_phase.get(p, 0.0) for p in phases)
+        by_phase = self.by_phase
+        return sum(by_phase.get(p, 0.0) for p in phases)
 
     def foreground_total(self) -> float:
         """Work excluding background pre-processing."""
@@ -71,7 +97,7 @@ class WorkMeter:
     def merge(self, other: "WorkMeter") -> None:
         """Fold another meter's counters into this one."""
         for phase, amount in other.by_phase.items():
-            self.by_phase[phase] = self.by_phase.get(phase, 0.0) + amount
+            self.telemetry.charge(phase, amount)
         self.task_costs.extend(other.task_costs)
 
     def snapshot(self) -> dict[str, float]:
@@ -79,7 +105,7 @@ class WorkMeter:
         return {phase.value: amount for phase, amount in self.by_phase.items()}
 
     def reset(self) -> None:
-        self.by_phase.clear()
+        self.telemetry.reset()
         self.task_costs.clear()
 
 

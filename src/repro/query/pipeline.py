@@ -26,6 +26,7 @@ from repro.query.compiler import CompiledPlan, CompiledStage, compile_plan
 from repro.query.plan import Query, Row
 from repro.slider.system import Slider, SliderConfig
 from repro.slider.window import WindowMode
+from repro.telemetry import SpanKind, Telemetry
 
 
 @dataclass
@@ -135,18 +136,36 @@ class IncrementalQueryPipeline:
         slider_config: SliderConfig | None = None,
         num_buckets: int = 32,
         cluster=None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.plan = plan
         self.compiled: CompiledPlan = compile_plan(plan)
         first_job = self.compiled.stages[0].job
         self.mode = mode
+        #: The shared backbone: stage 1 (the Slider) accounts directly into
+        #: it, while later stages keep their own long-lived meters — their
+        #: memo state spans runs, so folding their charges into the shared
+        #: root would reorder float additions.  Instead each stage run is
+        #: summarised as a closed PHASE span on a pipeline clock lane.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(label=f"query:{first_job.name}")
+        )
         self.slider = Slider(
-            first_job, mode=mode, config=slider_config, cluster=cluster
+            first_job,
+            mode=mode,
+            config=slider_config,
+            cluster=cluster,
+            telemetry=self.telemetry,
         )
         self.later_stages = [
             StrawmanStageRunner(stage, num_buckets=num_buckets)
             for stage in self.compiled.stages[1:]
         ]
+        #: Offset past the Slider's work cursor for later-stage span
+        #: placement; accumulates so stage spans never overlap across runs.
+        self._stage_clock = 0.0
         self._run_index = 0
 
     def initial_run(self, splits: Sequence[Split]) -> QueryRunResult:
@@ -163,6 +182,17 @@ class IncrementalQueryPipeline:
         for runner, stage in zip(self.later_stages, self.compiled.stages[1:]):
             outputs, work = runner.run(rows)
             stage_works.append(work)
+            start = self.telemetry.now() + self._stage_clock
+            self.telemetry.record_span(
+                f"stage{stage.index}",
+                SpanKind.PHASE,
+                start=start,
+                end=start + work,
+                thread="pipeline",
+                stage=stage.index,
+                run_index=self._run_index,
+            )
+            self._stage_clock += work
             rows = stage.emit_rows(outputs)
         rows = self.compiled.postprocess(rows)
         total_work = sum(stage_works)

@@ -25,6 +25,7 @@ from repro.mapreduce.types import Split, SplitWindow
 from repro.metrics import RunReport
 from repro.slider.system import SliderResult
 from repro.slider.window import WindowDelta, WindowMode
+from repro.telemetry import SpanKind, Telemetry
 
 
 class VanillaRunner:
@@ -36,10 +37,18 @@ class VanillaRunner:
         mode: WindowMode = WindowMode.VARIABLE,
         cluster: Cluster | None = None,
         scheduler: Scheduler | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.job = job
         self.mode = mode
-        self.runtime = BatchRuntime(job)
+        #: Telemetry backbone: each batch run's span tree is grafted here
+        #: and the wave placements land on machine lanes alongside it.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(label=f"vanilla:{job.name}")
+        )
+        self.runtime = BatchRuntime(job, telemetry=self.telemetry)
         self.window = SplitWindow()
         self.cluster = cluster
         self.scheduler = scheduler or HadoopScheduler()
@@ -47,7 +56,7 @@ class VanillaRunner:
         if cluster is not None:
             from repro.cluster.storage import BlockStore
 
-            self.blocks = BlockStore(cluster)
+            self.blocks = BlockStore(cluster, telemetry=self.telemetry)
         self._run_index = 0
         self._ran_initial = False
 
@@ -71,11 +80,18 @@ class VanillaRunner:
         return 0.0
 
     def _run(self, label: str) -> SliderResult:
+        with self.telemetry.span(
+            label, SpanKind.WINDOW_UPDATE, run_index=self._run_index
+        ):
+            return self._run_inner(label)
+
+    def _run_inner(self, label: str) -> SliderResult:
         if self.blocks is not None:
             self.blocks.store_all(self.window.splits)
-        job_result = self.runtime.run(self.window.splits)
+        job_result = self.runtime.run(self.window.splits, label=f"batch-{label}")
         work = job_result.work
-        time = self._simulate_time(job_result)
+        with self.telemetry.span("execute", SpanKind.PHASE):
+            time = self._simulate_time(job_result)
         report = RunReport(
             label=label,
             work=work,
@@ -115,7 +131,17 @@ class VanillaRunner:
                 kind=record.kind,
             )
             (map_tasks if record.kind == "map" else reduce_tasks).append(task)
-        makespan, _ = simulate_two_waves(
+        makespan, assignments = simulate_two_waves(
             map_tasks, reduce_tasks, self.cluster, self.scheduler
         )
+        for a in assignments:
+            self.telemetry.record_span(
+                a.task.label,
+                SpanKind.ATTEMPT,
+                start=a.start,
+                end=a.finish,
+                thread=f"m{a.machine_id}",
+                task_kind=a.task.kind,
+                fetched=a.fetched,
+            )
         return makespan

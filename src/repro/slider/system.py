@@ -47,6 +47,7 @@ from repro.mapreduce.shuffle import HashPartitioner, run_map_task
 from repro.mapreduce.types import Split, SplitWindow
 from repro.metrics import Phase, RunReport, WorkMeter
 from repro.slider.window import WindowDelta, WindowMode
+from repro.telemetry import SpanKind, Telemetry
 
 #: Tree-variant names accepted by SliderConfig.tree.
 TREE_VARIANTS = ("auto", "folding", "randomized", "rotating", "coalescing", "strawman")
@@ -154,6 +155,7 @@ class Slider:
         cache_config: CacheConfig | None = None,
         chaos: ChaosSchedule | ChaosPlan | None = None,
         executor_config: ExecutorConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if config is not None and config.mode is not mode:
             config = replace(config, mode=mode)
@@ -161,7 +163,12 @@ class Slider:
         self.config = config or SliderConfig(mode=mode)
         self.mode = mode
         self.partitioner = HashPartitioner(job.num_reducers)
-        self.meter = WorkMeter()
+        #: The telemetry backbone: one span tree shared by the engine, the
+        #: trees, the distributed cache, the block store, and the executor.
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(label=f"slider:{job.name}")
+        )
+        self.meter = WorkMeter(telemetry=self.telemetry)
         self.window = SplitWindow()
         #: Per-run task-graph recorder (the IR every run reifies into).
         self.recorder: GraphRecorder | None = (
@@ -175,9 +182,11 @@ class Slider:
         if cluster is not None:
             from repro.cluster.storage import BlockStore
 
-            self.cache = DistributedMemoCache(cluster, cache_config)
+            self.cache = DistributedMemoCache(
+                cluster, cache_config, telemetry=self.telemetry
+            )
             self.gc = GarbageCollector(self.cache)
-            self.blocks = BlockStore(cluster)
+            self.blocks = BlockStore(cluster, telemetry=self.telemetry)
         #: Fault schedule(s) the time simulation executes under; outputs
         #: are unaffected (the invariant `verify_outputs` checks).
         self.chaos = chaos
@@ -206,7 +215,7 @@ class Slider:
     # -- tree construction ---------------------------------------------------
 
     def _make_tree(self) -> ContractionTree:
-        memo = MemoTable(backing=self.cache)
+        memo = MemoTable(backing=self.cache, telemetry=self.telemetry)
         common = dict(
             meter=self.meter,
             memo=memo,
@@ -252,19 +261,25 @@ class Slider:
         self._ran_initial = True
         self._heal_chaos()
         snapshot = _RunSnapshot.of(self.meter)
-        if self.recorder is not None:
-            self.recorder.begin_run("initial")
-        new_map_costs = self._run_maps(splits)
-        self.window.append(list(splits))
+        with self.telemetry.span(
+            "initial", SpanKind.WINDOW_UPDATE, run_index=self._run_index
+        ):
+            if self.recorder is not None:
+                self.recorder.begin_run("initial")
+            with self.telemetry.span("map", SpanKind.PHASE):
+                new_map_costs = self._run_maps(splits)
+            self.window.append(list(splits))
 
-        per_reducer = self._reducer_leaves(splits)
-        roots = self._advance_trees(
-            lambda r, tree: tree.initial_run(per_reducer[r])
-        )
-        outputs = self._reduce_all(roots)
-        return self._finish_run(
-            snapshot, outputs, new_map_costs, reused=0, label="initial"
-        )
+            per_reducer = self._reducer_leaves(splits)
+            with self.telemetry.span("contraction", SpanKind.PHASE):
+                roots = self._advance_trees(
+                    lambda r, tree: tree.initial_run(per_reducer[r])
+                )
+            with self.telemetry.span("reduce", SpanKind.PHASE):
+                outputs = self._reduce_all(roots)
+            return self._finish_run(
+                snapshot, outputs, new_map_costs, reused=0, label="initial"
+            )
 
     def advance(self, added: Sequence[Split], removed: int) -> SliderResult:
         """Slide the window and incrementally update the output."""
@@ -274,28 +289,38 @@ class Slider:
 
         self._heal_chaos()
         snapshot = _RunSnapshot.of(self.meter)
-        if self.recorder is not None:
-            self.recorder.begin_run(f"incremental-{self._run_index}")
-        reused = sum(1 for s in added if s.uid in self._map_memo)
-        new_map_costs = self._run_maps(added)
-        self.window.drop_front(removed)
-        self.window.append(list(added))
+        with self.telemetry.span(
+            f"incremental-{self._run_index}",
+            SpanKind.WINDOW_UPDATE,
+            run_index=self._run_index,
+            added=len(added),
+            removed=removed,
+        ):
+            if self.recorder is not None:
+                self.recorder.begin_run(f"incremental-{self._run_index}")
+            reused = sum(1 for s in added if s.uid in self._map_memo)
+            with self.telemetry.span("map", SpanKind.PHASE):
+                new_map_costs = self._run_maps(added)
+            self.window.drop_front(removed)
+            self.window.append(list(added))
 
-        per_reducer = self._reducer_leaves(added)
-        roots = self._advance_trees(
-            lambda r, tree: tree.advance(per_reducer[r], removed)
-        )
-        outputs = self._reduce_all(roots)
-        result = self._finish_run(
-            snapshot,
-            outputs,
-            new_map_costs,
-            reused=reused,
-            label=f"incremental-{self._run_index}",
-        )
-        if self.config.auto_gc:
-            self.collect_garbage()
-        return result
+            per_reducer = self._reducer_leaves(added)
+            with self.telemetry.span("contraction", SpanKind.PHASE):
+                roots = self._advance_trees(
+                    lambda r, tree: tree.advance(per_reducer[r], removed)
+                )
+            with self.telemetry.span("reduce", SpanKind.PHASE):
+                outputs = self._reduce_all(roots)
+            result = self._finish_run(
+                snapshot,
+                outputs,
+                new_map_costs,
+                reused=reused,
+                label=f"incremental-{self._run_index}",
+            )
+            if self.config.auto_gc:
+                self.collect_garbage()
+            return result
 
     def background_preprocess(self) -> float:
         """Run the best-effort background phase on every tree (§4).
@@ -304,10 +329,11 @@ class Slider:
         split-processing mode.
         """
         before = self.meter.by_phase.get(Phase.BACKGROUND, 0.0)
-        for tree in self.trees:
-            preprocess = getattr(tree, "background_preprocess", None)
-            if preprocess is not None:
-                preprocess()
+        with self.telemetry.span("background", SpanKind.PHASE):
+            for tree in self.trees:
+                preprocess = getattr(tree, "background_preprocess", None)
+                if preprocess is not None:
+                    preprocess()
         return self.meter.by_phase.get(Phase.BACKGROUND, 0.0) - before
 
     # -- internals ---------------------------------------------------------
@@ -334,7 +360,11 @@ class Slider:
             map_before = self.meter.by_phase.get(Phase.MAP, 0.0)
             shuffle_before = self.meter.by_phase.get(Phase.SHUFFLE, 0.0)
             self._map_memo[split.uid] = run_map_task(
-                self.job, split.records, self.partitioner, self.meter
+                self.job,
+                split.records,
+                self.partitioner,
+                self.meter,
+                label=f"map:{split.uid:#x}",
             )
             costs[split.uid] = self.meter.total() - before
             if recorder is not None:
@@ -355,11 +385,14 @@ class Slider:
         self._last_tree_costs = []
         for reducer_index, tree in enumerate(self.trees):
             before = self.meter.total()
-            if self.recorder is not None:
-                with self.recorder.reducer_context(reducer_index):
+            with self.telemetry.span(
+                f"reducer:{reducer_index}", SpanKind.TASK, reducer=reducer_index
+            ):
+                if self.recorder is not None:
+                    with self.recorder.reducer_context(reducer_index):
+                        roots.append(step(reducer_index, tree))
+                else:
                     roots.append(step(reducer_index, tree))
-            else:
-                roots.append(step(reducer_index, tree))
             self._last_tree_costs.append(self.meter.total() - before)
         return roots
 
@@ -441,7 +474,8 @@ class Slider:
             for phase, amount in phase_delta.items()
             if phase is not Phase.BACKGROUND
         )
-        time = self._simulate_time(phase_delta, new_map_costs, graph)
+        with self.telemetry.span("execute", SpanKind.PHASE, label=label):
+            time = self._simulate_time(phase_delta, new_map_costs, graph)
         report = RunReport(
             label=label,
             work=work,
@@ -538,11 +572,26 @@ class Slider:
         if schedule is None and self.executor_config is None:
             # Calm run on the default executor knobs: the plain wrapper,
             # bit-identical to the historical greedy figures.
-            makespan, _ = simulate_two_waves(
+            makespan, assignments = simulate_two_waves(
                 map_tasks, reduce_tasks, self.cluster, self.scheduler
             )
+            self._record_attempts(assignments)
             return makespan
         return self._execute_under_chaos(map_tasks, reduce_tasks, schedule)
+
+    def _record_attempts(self, assignments) -> None:
+        """Mirror a calm wave's task placements into the span tree, on each
+        machine's trace lane with simulated-clock timestamps."""
+        for a in assignments:
+            self.telemetry.record_span(
+                a.task.label,
+                SpanKind.ATTEMPT,
+                start=a.start,
+                end=a.finish,
+                thread=f"m{a.machine_id}",
+                task_kind=a.task.kind,
+                fetched=a.fetched,
+            )
 
     def _replay_dag(self, graph: TaskGraph | None) -> float:
         """Replay the run's task graph at sub-computation granularity.
@@ -569,6 +618,7 @@ class Slider:
                 self.cluster,
                 self.scheduler,
                 config=self.executor_config,
+                telemetry=self.telemetry,
             )
             return report.makespan
         repair_bytes_before = (
@@ -588,6 +638,7 @@ class Slider:
             config=self.executor_config,
             chaos=schedule,
             hooks=hooks,
+            telemetry=self.telemetry,
         )
         recovery = report.stats.as_dict()
         recovery["map_finish"] = report.map_finish
@@ -668,6 +719,7 @@ class Slider:
             config=self.executor_config,
             chaos=schedule,
             hooks=hooks,
+            telemetry=self.telemetry,
         )
         recovery = report.stats.as_dict()
         recovery["map_finish"] = report.map_finish

@@ -130,3 +130,44 @@ def test_replicas_survive_any_single_failure():
     cluster.kill(victim)
     for uid in range(20):
         assert cache.fetch(uid) is not None
+
+
+def test_hit_rate_zero_before_any_lookup():
+    from repro.cluster.cache import CacheStats, ReadStats
+
+    assert CacheStats is ReadStats
+    assert ReadStats().hit_rate == 0.0
+
+
+def test_hit_rate_counts_memory_fraction():
+    cluster, cache = make_cache()
+    for uid in range(4):
+        cache.put(uid, Partition({"k": uid}))
+    for uid in range(4):
+        cache.fetch(uid)  # all served from memory
+    assert cache.stats.hit_rate == 1.0
+    cache.fetch(999)  # a miss
+    assert cache.stats.hit_rate == 4 / 5
+    # Knock out a machine: its objects fall back to persistent replicas.
+    victim = 0
+    cache.on_machine_failure(victim)
+    cluster.kill(victim)
+    for uid in range(4):
+        assert cache.fetch(uid) is not None
+    stats = cache.stats
+    assert stats.fallback_reads > 0
+    lookups = stats.memory_reads + stats.fallback_reads + stats.misses
+    assert stats.hit_rate == stats.memory_reads / lookups
+
+
+def test_cache_counters_mirrored_into_telemetry():
+    from repro.telemetry import Telemetry
+
+    cluster = Cluster(ClusterConfig(num_machines=4, straggler_fraction=0.0))
+    telemetry = Telemetry(label="cache")
+    cache = DistributedMemoCache(cluster, CacheConfig(), telemetry=telemetry)
+    cache.put(1, Partition({"k": 1}))
+    cache.fetch(1)
+    cache.fetch(2)
+    assert telemetry.counters["cache.memory_reads"] == 1.0
+    assert telemetry.counters["cache.misses"] == 1.0

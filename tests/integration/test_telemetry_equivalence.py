@@ -1,0 +1,71 @@
+"""Bit-identity: span-recording telemetry never perturbs the accounting.
+
+Drives every tree variant (including the split-processing modes, whose
+pre-processing charges land in ``Phase.BACKGROUND``) through the same
+window schedule twice — once under the default recording
+:class:`~repro.telemetry.Telemetry` and once under the no-op
+:class:`~repro.telemetry.NullTelemetry`, whose ``charge`` is exactly the
+seed ``WorkMeter`` update.  The per-phase totals must be *equal as
+floats*, not merely close: the backbone adds amounts to the root span in
+the seed's chronological order, so every historical number is unchanged
+to the last bit.
+"""
+
+import pytest
+
+from repro.apps.registry import micro_benchmark_apps
+from repro.metrics import Phase
+from repro.slider.system import Slider, SliderConfig
+from repro.slider.window import WindowMode
+from repro.telemetry import NullTelemetry, Telemetry
+
+#: (variant, mode, split_mode) cells — every tree, plus the split modes.
+CASES = [
+    ("folding", WindowMode.VARIABLE, False),
+    ("randomized", WindowMode.VARIABLE, False),
+    ("strawman", WindowMode.VARIABLE, False),
+    ("rotating", WindowMode.FIXED, False),
+    ("coalescing", WindowMode.APPEND, False),
+    ("rotating", WindowMode.FIXED, True),
+    ("coalescing", WindowMode.APPEND, True),
+]
+
+
+def drive(variant: str, mode: WindowMode, split_mode: bool, telemetry):
+    spec = next(s for s in micro_benchmark_apps() if s.name == "hct")
+    job = spec.make_job()
+    config = SliderConfig(
+        mode=mode,
+        tree=variant,
+        bucket_size=2 if mode is WindowMode.FIXED else 1,
+        split_mode=split_mode,
+    )
+    slider = Slider(job, mode, config=config, telemetry=telemetry)
+    slider.initial_run(spec.make_splits(12, 17, 0))
+    if split_mode:
+        slider.background_preprocess()
+    removed = 0 if mode is WindowMode.APPEND else 2
+    slider.advance(spec.make_splits(2, 17, 12), removed)
+    if split_mode:
+        slider.background_preprocess()
+    slider.advance(spec.make_splits(2, 17, 14), removed)
+    return slider
+
+
+@pytest.mark.parametrize(
+    "variant,mode,split_mode",
+    CASES,
+    ids=[f"{v}{'+split' if s else ''}" for v, _, s in CASES],
+)
+def test_by_phase_bit_identical_to_null_recorder(variant, mode, split_mode):
+    recorded = drive(variant, mode, split_mode, Telemetry(label="on"))
+    reference = drive(variant, mode, split_mode, NullTelemetry(label="off"))
+    assert dict(recorded.meter.by_phase) == dict(reference.meter.by_phase)
+    if split_mode:
+        # Split processing's pre-processing charges are split out into
+        # their own phase in both recorders.
+        assert recorded.meter.by_phase.get(Phase.BACKGROUND, 0.0) > 0.0
+    # The recording run additionally grew a closed span tree.
+    assert recorded.telemetry.span_count() > 1
+    assert recorded.telemetry.unclosed_spans() == []
+    assert reference.telemetry.span_count() == 1

@@ -1,0 +1,52 @@
+"""Acceptance: one micro-benchmark run exports a complete Chrome trace.
+
+The single trace file must contain the engine phase spans (map,
+contraction, reduce), executor attempt events on machine lanes, and the
+memoization-layer counters — the cross-layer criterion the telemetry
+backbone exists to satisfy.
+"""
+
+import json
+
+from repro.telemetry.export import (
+    export_micro_benchmark_trace,
+    validate_trace_events,
+)
+
+
+def test_micro_benchmark_trace_is_complete(tmp_path):
+    path = tmp_path / "trace.json"
+    trace = export_micro_benchmark_trace(str(path))
+
+    # The written file is valid schema-checked JSON.
+    loaded = json.loads(path.read_text())
+    assert validate_trace_events(loaded) == len(trace["traceEvents"])
+
+    events = loaded["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    names = {e["name"] for e in complete}
+
+    # Engine phase spans for both the initial run and the slide.
+    assert {"map", "contraction", "reduce", "initial"} <= names
+    assert any(n.startswith("incremental") for n in names)
+
+    # Executor attempt spans landed on machine lanes.
+    attempts = [e for e in complete if e.get("cat") == "attempt"]
+    assert attempts
+    lanes = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert any(lane.startswith("m") for lane in lanes)
+
+    # Memoization-layer counters rode along as counter events.
+    counter_names = {e["name"] for e in events if e["ph"] == "C"}
+    assert any(n.startswith("cache.") for n in counter_names)
+    assert any(n.startswith("memo.") for n in counter_names)
+
+    # Per-phase work summary mirrors the run's accounting.
+    by_phase = loaded["otherData"]["by_phase"]
+    assert by_phase.get("map", 0.0) > 0.0
+    assert by_phase.get("contraction", 0.0) > 0.0
+    assert by_phase.get("reduce", 0.0) > 0.0
