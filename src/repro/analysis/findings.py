@@ -1,0 +1,81 @@
+"""Findings: the common currency of every analysis pass.
+
+The purity checker, the law-falsification harness, and the repo lint all
+report :class:`Finding` records; a :class:`AnalysisReport` aggregates them
+and decides the exit status.  Severities:
+
+* ``error`` — a contract violation; the CLI exits nonzero.
+* ``warning`` — suspicious but not provably wrong.
+* ``info`` — notes (trusted annotations, unanalyzable sources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITIES = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis result, pointing at a rule and a location.
+
+    ``rule`` is dotted and stable (e.g. ``purity.nondeterminism.time``,
+    ``laws.associativity``, ``lint.span-hygiene``) so fixtures can assert
+    that a specific rule fired and allowlists can target one rule.
+    """
+
+    rule: str
+    message: str
+    where: str
+    line: int | None = None
+    severity: str = ERROR
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def location(self) -> str:
+        return f"{self.where}:{self.line}" if self.line is not None else self.where
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.rule} at {self.location()}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of findings plus pass/fail semantics."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return not self.errors()
+
+    def render(self, *, verbose: bool = False) -> str:
+        """A human-readable summary; non-errors only shown when verbose."""
+        shown = self.findings if verbose else self.errors()
+        lines = [finding.render() for finding in shown]
+        errors = len(self.errors())
+        lines.append(
+            f"{len(self.findings)} finding(s), {errors} error(s): "
+            + ("FAIL" if errors else "OK")
+        )
+        return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Repo-internal lint rules: telemetry span hygiene.
+
+Two invariants keep the telemetry backbone trustworthy, and both are
+mechanical enough to lint:
+
+``lint.span-hygiene``
+    Every ``*.charge(...)`` call must be lexically inside a ``with
+    ...span(...)`` block, so charged work is always attributed to an open
+    span.  Helpers that deliberately charge into *their caller's* span
+    (e.g. :func:`repro.core.partition.combine_partitions`, which runs
+    under the tree's task span) declare so with a trailing marker comment
+    ``# analysis: charge-in-caller-span`` on their ``def`` line — the
+    contract is then documented at the definition site instead of being
+    implicit.
+
+``lint.bare-telemetry``
+    ``Telemetry()`` constructed with no label creates an anonymous span
+    tree that cannot be told apart in traces; only designated entry-point
+    modules (the WorkMeter fallback and the telemetry package itself) may
+    do that.  Everything else must pass a label or accept an injected
+    backbone.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.findings import ERROR, Finding
+
+#: Marker comment allowing a function to charge into its caller's span.
+CALLER_SPAN_MARKER = "analysis: charge-in-caller-span"
+
+#: Module paths (relative to the package root) allowed to build Telemetry()
+#: without a label.
+BARE_TELEMETRY_ENTRY_POINTS = (
+    "metrics.py",
+    "telemetry/",
+)
+
+#: Functions implementing the charge verb itself are exempt from the rule.
+_CHARGE_IMPLEMENTATIONS = {"charge"}
+
+
+def _is_span_context(item: ast.withitem) -> bool:
+    """True when a with-item opens a telemetry span.
+
+    Matches any call whose callee name contains ``span`` —
+    ``telemetry.span(...)``, ``self._level_span(...)``, ``phase_span(...)``.
+    """
+    for node in ast.walk(item.context_expr):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = None
+            if isinstance(callee, ast.Attribute):
+                name = callee.attr
+            elif isinstance(callee, ast.Name):
+                name = callee.id
+            if name is not None and "span" in name:
+                return True
+    return False
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    def __init__(self, path: Path, relative: str, source_lines: list[str]) -> None:
+        self.path = path
+        self.relative = relative
+        self.source_lines = source_lines
+        self.findings: list[Finding] = []
+        self._span_depth = 0
+        self._function_stack: list[ast.AST] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _line(self, number: int) -> str:
+        if 1 <= number <= len(self.source_lines):
+            return self.source_lines[number - 1]
+        return ""
+
+    def _function_is_marked(self) -> bool:
+        for fn in reversed(self._function_stack):
+            if CALLER_SPAN_MARKER in self._line(fn.lineno):
+                return True
+        return False
+
+    def _function_is_charge_impl(self) -> bool:
+        return bool(
+            self._function_stack
+            and getattr(self._function_stack[-1], "name", None)
+            in _CHARGE_IMPLEMENTATIONS
+        )
+
+    # -- structure tracking ---------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_stack.append(node)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_With(self, node: ast.With) -> None:
+        opens_span = any(_is_span_context(item) for item in node.items)
+        if opens_span:
+            self._span_depth += 1
+        self.generic_visit(node)
+        if opens_span:
+            self._span_depth -= 1
+
+    # -- rules -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_charge(node)
+        self._check_bare_telemetry(node)
+        self.generic_visit(node)
+
+    def _check_charge(self, node: ast.Call) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "charge"
+        ):
+            return
+        if self._span_depth > 0:
+            return
+        if self._function_is_charge_impl() or self._function_is_marked():
+            return
+        if CALLER_SPAN_MARKER in self._line(node.lineno):
+            return
+        self.findings.append(
+            Finding(
+                rule="lint.span-hygiene",
+                message=(
+                    "charge() outside any span: wrap the call in a "
+                    "telemetry span, or mark the enclosing def with "
+                    f"'# {CALLER_SPAN_MARKER}' if it charges into its "
+                    "caller's span"
+                ),
+                where=self.relative,
+                line=node.lineno,
+                severity=ERROR,
+            )
+        )
+
+    def _check_bare_telemetry(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Name) and node.func.id == "Telemetry"):
+            return
+        if node.args or node.keywords:
+            return
+        if any(
+            self.relative.startswith(prefix)
+            for prefix in BARE_TELEMETRY_ENTRY_POINTS
+        ):
+            return
+        self.findings.append(
+            Finding(
+                rule="lint.bare-telemetry",
+                message=(
+                    "bare Telemetry() outside an entry point: pass a label "
+                    "(Telemetry(label=...)) or accept an injected backbone"
+                ),
+                where=self.relative,
+                line=node.lineno,
+                severity=ERROR,
+            )
+        )
+
+
+def lint_file(path: Path, package_root: Path) -> list[Finding]:
+    """Lint one source file; ``package_root`` anchors relative names."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="lint.syntax",
+                message=f"could not parse: {exc}",
+                where=str(path),
+                line=exc.lineno,
+                severity=ERROR,
+            )
+        ]
+    try:
+        relative = str(path.relative_to(package_root))
+    except ValueError:
+        relative = str(path)
+    linter = _ModuleLinter(path, relative, source.splitlines())
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_package(package_root: Path) -> list[Finding]:
+    """Lint every ``.py`` file under ``package_root`` (the repro package)."""
+    findings: list[Finding] = []
+    for path in sorted(package_root.rglob("*.py")):
+        findings.extend(lint_file(path, package_root))
+    return findings

@@ -34,6 +34,12 @@ class HistogramCombiner(Combiner[tuple]):
     def value_size(self, value) -> float:
         return max(1.0, float(len(value)))
 
+    def law_leaves(self):
+        """Leaf-value strategy for the law harness: one run's histogram."""
+        from hypothesis import strategies as st
+
+        return st.integers(0, 200).map(lambda bin_index: ((bin_index, 1),))
+
 
 def _map_test_run(record: RunRecord):
     server, _host, _month, rtts_ms = record

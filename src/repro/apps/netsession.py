@@ -27,8 +27,17 @@ class AuditCombiner(Combiner[tuple]):
 
     A fragment is ``(entries, bytes_served, chain_ok)`` where ``entries``
     is a tuple of ((week, sequence), link_ok) pairs kept for chain
-    verification.  Union of verified links is associative and commutative.
+    verification.  The entry union is associative, but it resolves
+    conflicting link verdicts for the same (week, sequence) position
+    last-writer-wins, so it is **not** commutative — a fact the law
+    harness falsifies if this combiner claims otherwise.  (On real log
+    data positions are unique per client, but the algebra must hold on
+    every mergeable value.)  The folding tree that the variable-width
+    NetSession window uses never reorders leaves, so commutativity is not
+    required.
     """
+
+    commutative = False
 
     def merge(self, key, values):
         entries: dict = {}
@@ -43,6 +52,18 @@ class AuditCombiner(Combiner[tuple]):
 
     def value_size(self, value) -> float:
         return max(1.0, float(len(value[0])))
+
+    def law_leaves(self):
+        """Leaf-value strategy for the law harness: one log entry's fragment."""
+        from hypothesis import strategies as st
+
+        position = st.tuples(st.integers(0, 5), st.integers(0, 20))
+        link_ok = st.booleans()
+        return st.tuples(
+            st.tuples(st.tuples(position, link_ok)).map(tuple),
+            st.integers(0, 10_000),
+            link_ok,
+        )
 
 
 def _verify_link(record: AuditRecord) -> bool:

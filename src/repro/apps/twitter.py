@@ -41,6 +41,13 @@ class PropagationCombiner(Combiner[tuple]):
     def fingerprint(self, value):
         return (tuple(sorted(value[0])), value[1])
 
+    def law_leaves(self):
+        """Leaf-value strategy for the law harness: one tweet's fragment."""
+        from hypothesis import strategies as st
+
+        edge = st.tuples(st.integers(0, 50), st.integers(0, 50))
+        return st.tuples(st.frozensets(edge, max_size=2), st.just(1))
+
 
 def _map_tweet(record: TweetRecord):
     user, url, _timestamp, source_user = record

@@ -5,12 +5,15 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
-class CombinerContractError(ReproError):
+class CombinerContractError(ReproError, ValueError):
     """A combiner violated a required algebraic property.
 
-    Rotating contraction trees require commutativity in addition to
-    associativity; the tree constructors raise this error when a job
-    declares a combiner that does not provide the needed property.
+    Every contraction tree requires associativity, and rotating trees
+    require commutativity in addition; job construction and the tree
+    constructors raise this error when a combiner does not provide the
+    needed property.  Subclasses :class:`ValueError` because a contract
+    violation is a bad argument — and so that callers written against the
+    original plain-``ValueError`` signature keep working.
     """
 
 

@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.common.errors import CombinerContractError
 from repro.core.memo import MemoTable
 from repro.core.partition import Partition, combine_partitions
 from repro.metrics import Phase, WorkMeter
@@ -69,7 +70,9 @@ class ContractionTree(ABC):
         invocation_overhead: float | None = None,
     ) -> None:
         if not combiner.associative:
-            raise ValueError("contraction trees require an associative combiner")
+            raise CombinerContractError(
+                "contraction trees require an associative combiner"
+            )
         self.combiner = combiner
         self.meter = meter if meter is not None else WorkMeter()
         self.memo = memo if memo is not None else MemoTable()
@@ -149,7 +152,7 @@ class ContractionTree(ABC):
         with self.meter.telemetry.span(node or "combine", SpanKind.TASK):
             return self._combine_inner(parts, phase, memo_uid, cost_scale, node)
 
-    def _combine_inner(
+    def _combine_inner(  # analysis: charge-in-caller-span (_combine's task span)
         self,
         parts: Sequence[Partition],
         phase: Phase,

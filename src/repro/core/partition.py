@@ -38,7 +38,7 @@ class Partition:
         return _EMPTY
 
     @staticmethod
-    def from_value_lists(
+    def from_value_lists(  # analysis: charge-in-caller-span (map-task span)
         buffer: Mapping[Any, list[Any]],
         combiner: Combiner,
         meter: WorkMeter | None = None,
@@ -108,7 +108,7 @@ def _coerce(value: Any) -> Any:
 _EMPTY = Partition({}, uid=content_id("empty-partition"))
 
 
-def combine_partitions(
+def combine_partitions(  # analysis: charge-in-caller-span (tree task span)
     partitions: Sequence[Partition],
     combiner: Combiner,
     meter: WorkMeter | None = None,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from repro.common.errors import CombinerContractError
 from repro.mapreduce.combiners import Combiner
 
 # map_fn(record) -> iterable of (key, value) pairs, value already in
@@ -52,9 +53,48 @@ class MapReduceJob:
         if self.num_reducers <= 0:
             raise ValueError(f"num_reducers must be positive, got {self.num_reducers}")
         if not self.combiner.associative:
-            raise ValueError(
+            raise CombinerContractError(
                 f"job {self.name!r}: contraction requires an associative combiner"
             )
+
+    def validate(
+        self,
+        *,
+        check_laws: bool = False,
+        check_purity: bool = False,
+        max_examples: int = 60,
+    ):
+        """Check this job's contracts beyond the constructor's cheap flags.
+
+        With ``check_laws=True``, property-tests the combiner's declared
+        algebra (associativity, commutativity if claimed, merge and
+        fingerprint consistency) on generated values.  With
+        ``check_purity=True``, statically analyzes the Map/Combine/Reduce
+        functions for nondeterminism and impurity.  Both are opt-in: they
+        import :mod:`repro.analysis` lazily and cost real time, so they
+        belong in tests and CI rather than on the hot construction path.
+
+        Returns the :class:`repro.analysis.AnalysisReport`; raises
+        :class:`~repro.common.errors.CombinerContractError` if any check
+        found an error-severity violation.
+        """
+        from repro.analysis import AnalysisReport, check_target
+        from repro.analysis.targets import job_target
+
+        report = AnalysisReport()
+        check_target(
+            job_target(self),
+            report,
+            check_purity=check_purity,
+            check_laws=check_laws,
+            max_examples=max_examples,
+        )
+        if not report.ok:
+            summary = "; ".join(f.message for f in report.errors())
+            raise CombinerContractError(
+                f"job {self.name!r} failed validation: {summary}"
+            )
+        return report
 
     def with_reducers(self, num_reducers: int) -> "MapReduceJob":
         """A copy of this job with a different reducer count."""
@@ -66,3 +106,8 @@ class MapReduceJob:
             num_reducers=num_reducers,
             costs=self.costs,
         )
+
+
+#: The user-facing name for a job's contract-bearing specification —
+#: ``JobSpec.validate(check_laws=True)`` reads as intended at call sites.
+JobSpec = MapReduceJob

@@ -118,7 +118,7 @@ class BatchRuntime:
         return JobResult(outputs=outputs, meter=meter, tasks=tasks)
 
 
-def reduce_partition(
+def reduce_partition(  # analysis: charge-in-caller-span (reduce-task span)
     job: MapReduceJob, partition: Partition, meter: WorkMeter | None = None
 ) -> dict[Any, Any]:
     """Apply the Reduce function to every key of a combined partition."""

@@ -32,7 +32,7 @@ class HashPartitioner:
         return stable_hash(key, salt="part") % self.num_partitions
 
 
-def run_map_task(
+def run_map_task(  # analysis: charge-in-caller-span (opens its own task span)
     job: MapReduceJob,
     records: Iterable[Any],
     partitioner: HashPartitioner,

@@ -94,7 +94,7 @@ class WorkMeter:
         """Work excluding background pre-processing."""
         return self.total() - self.by_phase.get(Phase.BACKGROUND, 0.0)
 
-    def merge(self, other: "WorkMeter") -> None:
+    def merge(self, other: "WorkMeter") -> None:  # analysis: charge-in-caller-span
         """Fold another meter's counters into this one."""
         for phase, amount in other.by_phase.items():
             self.telemetry.charge(phase, amount)

@@ -161,3 +161,14 @@ class _TupleCombiner(Combiner):
             combiner.fingerprint(component)
             for combiner, component in zip(self.combiners, value)
         )
+
+    def law_leaves(self):
+        """Component-wise leaf strategy for the law harness."""
+        from hypothesis import strategies as st
+
+        from repro.analysis.laws import leaf_strategy_for
+
+        parts = [leaf_strategy_for(combiner) for combiner in self.combiners]
+        if any(part is None for part in parts):
+            return None
+        return st.tuples(*parts)

@@ -99,7 +99,9 @@ class StrawmanStageRunner:
             )
         return splits
 
-    def _run_maps(self, splits: list[Split]) -> list[list[Partition]]:
+    def _run_maps(  # analysis: charge-in-caller-span (stage span)
+        self, splits: list[Split]
+    ) -> list[list[Partition]]:
         per_reducer: list[list[Partition]] = [
             [] for _ in range(self.stage.job.num_reducers)
         ]

@@ -31,7 +31,7 @@ from repro.cluster.scheduler import (
     SimTask,
     simulate_two_waves,
 )
-from repro.common.errors import ReproError, WindowError
+from repro.common.errors import CombinerContractError, ReproError, WindowError
 from repro.common.hashing import stable_hash
 from repro.core.base import ContractionTree
 from repro.core.coalescing import CoalescingTree
@@ -224,6 +224,15 @@ class Slider:
             memo_write_cost=self.job.costs.memo_write_cost_per_key,
         )
         variant = self.config.tree_variant()
+        try:
+            return self._construct_tree(variant, common)
+        except CombinerContractError as exc:
+            raise CombinerContractError(
+                f"job {self.job.name!r}: {exc} "
+                f"(tree variant {variant!r})"
+            ) from exc
+
+    def _construct_tree(self, variant: str, common: dict) -> ContractionTree:
         if variant == "folding":
             tree: ContractionTree = FoldingTree(
                 self.job.combiner,
@@ -338,7 +347,9 @@ class Slider:
 
     # -- internals ---------------------------------------------------------
 
-    def _run_maps(self, splits: Sequence[Split]) -> dict[int, float]:
+    def _run_maps(  # analysis: charge-in-caller-span (map phase span)
+        self, splits: Sequence[Split]
+    ) -> dict[int, float]:
         """Run (or reuse) Map tasks; returns per-split charged cost."""
         if self.blocks is not None:
             self.blocks.store_all(splits)
@@ -406,7 +417,9 @@ class Slider:
                 per_reducer[reducer_index].append(partition)
         return per_reducer
 
-    def _reduce_all(self, roots: list[Partition]) -> dict[Any, Any]:
+    def _reduce_all(  # analysis: charge-in-caller-span (reduce phase span)
+        self, roots: list[Partition]
+    ) -> dict[Any, Any]:
         """Apply Reduce per key, reusing outputs for unchanged root values.
 
         Change propagation is per-key (Algorithm 1): a key whose combined

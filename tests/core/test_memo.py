@@ -1,5 +1,7 @@
 """Unit tests for the memo table."""
 
+import pytest
+
 from repro.core.memo import MemoTable
 from repro.core.partition import Partition
 from repro.metrics import Phase, WorkMeter
@@ -65,5 +67,14 @@ def test_hit_rate():
     table.store(1, Partition({"k": 1}))
     table.lookup(1)
     table.lookup(2)
-    assert table.stats.hit_rate() == 0.5
-    assert MemoTable().stats.hit_rate() == 0.0
+    assert table.stats.hit_rate == 0.5
+    assert MemoTable().stats.hit_rate == 0.0
+
+
+def test_hit_rate_call_form_deprecated_but_working():
+    # the pre-unification method form still answers, with a warning
+    table = MemoTable()
+    table.store(1, Partition({"k": 1}))
+    table.lookup(1)
+    with pytest.warns(DeprecationWarning, match="property"):
+        assert table.stats.hit_rate() == 1.0
