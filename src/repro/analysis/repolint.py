@@ -1,7 +1,6 @@
-"""Repo-internal lint rules: telemetry span hygiene.
+"""Repo-internal lint rules: telemetry span hygiene and layering.
 
-Two invariants keep the telemetry backbone trustworthy, and both are
-mechanical enough to lint:
+Four invariants are mechanical enough to lint:
 
 ``lint.span-hygiene``
     Every ``*.charge(...)`` call must be lexically inside a ``with
@@ -19,6 +18,18 @@ mechanical enough to lint:
     modules (the WorkMeter fallback and the telemetry package itself) may
     do that.  Everything else must pass a label or accept an injected
     backbone.
+
+``lint.layering``
+    ``repro.core`` is the substrate every layer builds on: trees, memo
+    tables, plans, the task-graph IR.  It must never import the layers
+    above it (``repro.slider``, ``repro.cluster``) — an upward import
+    would let engine details leak back into the substrate and recreate
+    the god-module this package split apart.
+
+``lint.module-size``
+    No source module may exceed :data:`MAX_MODULE_LINES` lines.  Modules
+    that grow past the cap get split by concern (as ``slider/system.py``
+    and ``cluster/executor.py`` were), not waived.
 """
 
 from __future__ import annotations
@@ -40,6 +51,15 @@ BARE_TELEMETRY_ENTRY_POINTS = (
 
 #: Functions implementing the charge verb itself are exempt from the rule.
 _CHARGE_IMPLEMENTATIONS = {"charge"}
+
+#: Hard cap on source-module length, in physical lines.
+MAX_MODULE_LINES = 500
+
+#: Layering: modules whose path starts with a key may not import any
+#: module whose dotted name starts with one of the listed prefixes.
+LAYERING_RULES = {
+    "core/": ("repro.slider", "repro.cluster"),
+}
 
 
 def _is_span_context(item: ast.withitem) -> bool:
@@ -108,6 +128,55 @@ class _ModuleLinter(ast.NodeVisitor):
             self._span_depth -= 1
 
     # -- rules -----------------------------------------------------------
+
+    def _forbidden_prefixes(self) -> tuple[str, ...]:
+        for layer, prefixes in LAYERING_RULES.items():
+            if self.relative.startswith(layer):
+                return prefixes
+        return ()
+
+    def _check_layering(self, node: ast.AST, module: str | None) -> None:
+        if not module:
+            return
+        for prefix in self._forbidden_prefixes():
+            if module == prefix or module.startswith(prefix + "."):
+                layer = self.relative.split("/", 1)[0]
+                self.findings.append(
+                    Finding(
+                        rule="lint.layering",
+                        message=(
+                            f"repro.{layer} must not import {module}: the "
+                            "substrate cannot depend on the layers above "
+                            "it — invert the dependency (inject a callback "
+                            "or move the shared piece down)"
+                        ),
+                        where=self.relative,
+                        line=node.lineno,
+                        severity=ERROR,
+                    )
+                )
+                return
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_layering(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._check_layering(node, self._resolve_import(node))
+        self.generic_visit(node)
+
+    def _resolve_import(self, node: ast.ImportFrom) -> str | None:
+        """The absolute dotted module an ImportFrom targets; ``from ..x
+        import y`` is resolved against this file's package path."""
+        if node.level == 0:
+            return node.module
+        parts = ["repro"] + self.relative.split("/")
+        parts.pop()  # the module file itself; its package remains
+        base = parts[: len(parts) - (node.level - 1)]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base) if base else None
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_charge(node)
@@ -183,9 +252,24 @@ def lint_file(path: Path, package_root: Path) -> list[Finding]:
         relative = str(path.relative_to(package_root))
     except ValueError:
         relative = str(path)
-    linter = _ModuleLinter(path, relative, source.splitlines())
+    lines = source.splitlines()
+    linter = _ModuleLinter(path, relative, lines)
     linter.visit(tree)
-    return linter.findings
+    findings = linter.findings
+    if len(lines) > MAX_MODULE_LINES:
+        findings.append(
+            Finding(
+                rule="lint.module-size",
+                message=(
+                    f"module is {len(lines)} lines (cap {MAX_MODULE_LINES})"
+                    " — split it by concern instead of growing it"
+                ),
+                where=relative,
+                line=len(lines),
+                severity=ERROR,
+            )
+        )
+    return findings
 
 
 def lint_package(package_root: Path) -> list[Finding]:

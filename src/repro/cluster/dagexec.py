@@ -1,0 +1,175 @@
+"""DAG execution: topological readiness over the event-driven executor.
+
+The dependency-aware analogue of the two-wave barrier: a task becomes
+schedulable the moment its dependencies finish, and ready tasks are
+considered critical-path-first.  All of the wave executor's fault
+machinery (crash detection, retries, speculation, replanning) applies
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.exec_types import (
+    ExecutionReport,
+    ExecutorConfig,
+    ExecutorHooks,
+    _TaskState,
+)
+from repro.cluster.machine import Cluster
+from repro.cluster.scheduler import Scheduler, SimTask
+from repro.cluster.waveexec import WaveExecutor
+from repro.common.errors import SchedulingError
+from repro.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cluster.chaos import ChaosSchedule
+
+
+class DagExecutor(WaveExecutor):
+    """Executes a dependency DAG of tasks at sub-computation granularity.
+
+    Instead of the two-wave barrier (all maps, then all reduces), a task
+    becomes schedulable the moment its dependencies finish — *topological
+    readiness*.  Ready tasks are planned by the same greedy policies, but
+    considered in **critical-path-first** order: the priority of a task is
+    the heaviest cost chain hanging below it in the DAG, so the chain that
+    bounds the makespan is never starved by wide-but-shallow work.  All of
+    the wave executor's fault machinery (crash detection, retries,
+    speculation, replanning) applies unchanged.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._dep_remaining: dict[_TaskState, int] = {}
+        self._dependents: dict[_TaskState, list[_TaskState]] = {}
+
+    def run_dag(
+        self,
+        tasks: Sequence[SimTask],
+        deps: dict[str, Sequence[str]],
+    ) -> tuple[float, list]:
+        """Execute ``tasks`` honouring ``deps`` (task label -> labels it
+        depends on); returns ``(finish_time, assignments)`` with the
+        assignments in critical-path priority order."""
+        by_label: dict[str, SimTask] = {}
+        for task in tasks:
+            if task.label in by_label:
+                raise SchedulingError(f"duplicate task label {task.label!r}")
+            by_label[task.label] = task
+        parents: dict[str, tuple[str, ...]] = {}
+        for label, parent_labels in deps.items():
+            if label not in by_label:
+                raise SchedulingError(f"deps reference unknown task {label!r}")
+            unique = tuple(dict.fromkeys(parent_labels))
+            for parent in unique:
+                if parent not in by_label:
+                    raise SchedulingError(
+                        f"task {label!r} depends on unknown task {parent!r}"
+                    )
+            parents[label] = unique
+
+        priority = critical_path_priority(tasks, parents)
+        states: dict[str, _TaskState] = {}
+        ranked = sorted(tasks, key=lambda t: (-priority[t.label], t.label))
+        for order, task in enumerate(ranked):
+            states[task.label] = _TaskState(task=task, order=order)
+
+        self._dep_remaining = {
+            states[label]: len(parents.get(label, ()))
+            for label in states
+        }
+        self._dependents = {state: [] for state in states.values()}
+        for label, parent_labels in parents.items():
+            for parent in parent_labels:
+                self._dependents[states[parent]].append(states[label])
+
+        self._pending = [
+            state
+            for state in sorted(states.values(), key=lambda s: s.order)
+            if self._dep_remaining[state] == 0
+        ]
+        self._unfinished = set(states.values())
+        return self._drive(list(states.values()))
+
+    def _task_completed(self, state: _TaskState) -> None:
+        """Topological release: finished tasks unlock their dependents."""
+        released = False
+        for child in self._dependents.get(state, ()):
+            self._dep_remaining[child] -= 1
+            if self._dep_remaining[child] == 0 and not child.done:
+                self._pending.append(child)
+                released = True
+        if released:
+            self._plan()
+
+
+def critical_path_priority(
+    tasks: Sequence[SimTask], parents: dict[str, Sequence[str]]
+) -> dict[str, float]:
+    """For each task, the heaviest cost chain from it down to any sink
+    (inclusive).  Raises :class:`SchedulingError` on dependency cycles."""
+    children: dict[str, list[str]] = {task.label: [] for task in tasks}
+    remaining: dict[str, int] = {task.label: 0 for task in tasks}
+    for label, parent_labels in parents.items():
+        remaining[label] = len(parent_labels)
+        for parent in parent_labels:
+            children[parent].append(label)
+    order = [label for label, count in remaining.items() if count == 0]
+    cursor = 0
+    while cursor < len(order):
+        label = order[cursor]
+        cursor += 1
+        for child in children[label]:
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                order.append(child)
+    if len(order) != len(tasks):
+        stuck = sorted(label for label, n in remaining.items() if n > 0)
+        raise SchedulingError(f"dependency cycle among tasks: {stuck[:5]}")
+    costs = {task.label: task.cost for task in tasks}
+    priority: dict[str, float] = {}
+    for label in reversed(order):
+        below = max((priority[child] for child in children[label]), default=0.0)
+        priority[label] = costs[label] + below
+    return priority
+
+
+def execute_dag(
+    tasks: Sequence[SimTask],
+    deps: dict[str, Sequence[str]],
+    cluster: Cluster,
+    scheduler: Scheduler,
+    config: ExecutorConfig | None = None,
+    chaos: "ChaosSchedule | None" = None,
+    hooks: ExecutorHooks | None = None,
+    telemetry: Telemetry | None = None,
+) -> ExecutionReport:
+    """Execute a task DAG on the event-driven executor.
+
+    The dependency-aware analogue of :func:`~repro.cluster.waveexec.
+    execute_two_waves`: no global barriers — readiness is topological,
+    placement is the scheduling policy's (locality against block/cache
+    placement comes in through each task's ``preferred_machine``), and
+    ties break critical-path-first.
+    """
+    executor = DagExecutor(
+        cluster, scheduler, config=config, chaos=chaos, hooks=hooks,
+        telemetry=telemetry,
+    )
+    try:
+        finish, assignments = executor.run_dag(tasks, deps)
+    finally:
+        executor.restore_straggles()
+    map_finish = max(
+        (a.finish for a in assignments if a.task.kind == "map"),
+        default=finish,
+    )
+    return ExecutionReport(
+        makespan=finish,
+        map_finish=map_finish,
+        assignments=assignments,
+        attempts=executor.attempt_log,
+        stats=executor.stats,
+    )

@@ -1,0 +1,78 @@
+"""Entry points over the event-driven executors.
+
+One-call wrappers that construct an executor, drive it to completion,
+restore any still-open straggle episodes, and package the result as an
+:class:`~repro.cluster.exec_types.ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cluster.exec_types import (
+    ExecutionReport,
+    ExecutorConfig,
+    ExecutorHooks,
+)
+from repro.cluster.machine import Cluster
+from repro.cluster.scheduler import Scheduler, SimTask
+from repro.cluster.waveexec import WaveExecutor
+from repro.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cluster.chaos import ChaosSchedule
+
+
+def execute_wave(
+    tasks: Sequence[SimTask],
+    cluster: Cluster,
+    scheduler: Scheduler,
+    start_time: float = 0.0,
+    config: ExecutorConfig | None = None,
+    chaos: "ChaosSchedule | None" = None,
+    hooks: ExecutorHooks | None = None,
+    telemetry: Telemetry | None = None,
+) -> ExecutionReport:
+    """Execute a single wave; the event-driven analogue of ``simulate_wave``."""
+    executor = WaveExecutor(
+        cluster, scheduler, config=config, chaos=chaos, hooks=hooks,
+        start_time=start_time, telemetry=telemetry,
+    )
+    try:
+        finish, assignments = executor.run(tasks)
+    finally:
+        executor.restore_straggles()
+    return ExecutionReport(
+        makespan=finish,
+        map_finish=finish,
+        assignments=assignments,
+        attempts=executor.attempt_log,
+        stats=executor.stats,
+    )
+
+
+def execute_two_waves(
+    map_tasks: Sequence[SimTask],
+    reduce_tasks: Sequence[SimTask],
+    cluster: Cluster,
+    scheduler: Scheduler,
+    config: ExecutorConfig | None = None,
+    chaos: "ChaosSchedule | None" = None,
+    hooks: ExecutorHooks | None = None,
+    telemetry: Telemetry | None = None,
+) -> ExecutionReport:
+    """Maps, a shuffle barrier, then reduces — one job's fault-tolerant run."""
+    executor = WaveExecutor(cluster, scheduler, config=config, chaos=chaos,
+                            hooks=hooks, telemetry=telemetry)
+    try:
+        map_finish, map_log = executor.run(map_tasks)
+        reduce_finish, reduce_log = executor.run(reduce_tasks)
+    finally:
+        executor.restore_straggles()
+    return ExecutionReport(
+        makespan=reduce_finish,
+        map_finish=map_finish,
+        assignments=map_log + reduce_log,
+        attempts=executor.attempt_log,
+        stats=executor.stats,
+    )

@@ -1,0 +1,250 @@
+"""Fault and speculation machinery for the wave executor.
+
+A mixin over :class:`~repro.cluster.waveexec.WaveExecutor`'s event loop:
+transient-failure retries with exponential backoff, machine-crash
+detection via missed heartbeats (reaping zombies and ghosts), recovery,
+straggle episodes, and LATE-style speculative backup attempts.  Split out
+of :mod:`repro.cluster.waveexec` so the happy-path planning/attempt loop
+reads on its own; every handler here runs inside the same event queue.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.exec_types import AttemptState, TaskAttempt, _TaskState
+from repro.cluster.scheduler import SimTask
+from repro.common.errors import TaskFailedError
+from repro.common.hashing import stable_hash
+
+
+class FaultMachineryMixin:
+    """Failure, detection, recovery, and speculation event handlers."""
+
+    def _on_fail(self, attempt: TaskAttempt) -> None:
+        if self._attempt_event_is_stale(attempt):
+            return
+        now = self.clock.now
+        attempt.state = AttemptState.FAILED
+        attempt.finish = now
+        self._record_attempt(attempt)
+        self._release_slot(attempt)
+        self.stats.transient_failures += 1
+        self.stats.wasted_work += max(0.0, now - attempt.start)
+        self._after_loss(self._owner[attempt])
+        # The slot freed earlier than planned; successors can move up.
+        self._replan()
+
+    def _after_loss(self, state: _TaskState) -> None:
+        """Count a failed/lost attempt; retry with backoff or give up."""
+        state.failures += 1
+        if state.done:
+            return
+        if state.has_live_attempt():
+            return  # a sibling (speculative backup) may still win
+        if state.failures >= self.config.max_attempts:
+            raise TaskFailedError(state.task.label, state.failures)
+        delay = self.config.backoff_base * (
+            self.config.backoff_factor ** (state.failures - 1)
+        )
+        self.stats.backoff_delay += delay
+        state.cooling = True
+        self.events.push(self.clock.now + delay, ("retry", state))
+
+    def _on_retry(self, state: _TaskState) -> None:
+        state.cooling = False
+        if state.done or state.has_live_attempt():
+            return
+        if state not in self._pending:
+            self._pending.append(state)
+        self._plan()
+
+    def _on_crash(self, machine_id: int) -> None:
+        machine = self.cluster.machine(machine_id)
+        if not machine.alive:
+            return
+        self.cluster.kill(machine_id)
+        self._epoch[machine_id] += 1
+        self.stats.crashes += 1
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.crash", ts=self.clock.now, machine=machine_id
+            )
+            self.telemetry.count("executor.crashes", ts=self.clock.now)
+        self.events.push(
+            self.clock.now + self.config.heartbeat_timeout,
+            ("detect", machine_id, self.clock.now),
+        )
+        if self.hooks.on_crash is not None:
+            self.hooks.on_crash(machine_id, self.clock.now)
+
+    def _reap_machine(self, machine_id: int, crash_time: float | None) -> None:
+        """Reap attempts stranded on a crashed/restarted machine."""
+        machine = self.cluster.machine(machine_id)
+        now = self.clock.now
+        stranded: list[TaskAttempt] = list(self._ghosts[machine_id])
+        self._ghosts[machine_id].clear()
+        for slot_index, attempt in enumerate(self._running[machine_id]):
+            if attempt is None or attempt.state is not AttemptState.RUNNING:
+                continue
+            if machine.alive and attempt.epoch == self._epoch[machine_id]:
+                continue  # started after the restart; still healthy
+            self._running[machine_id][slot_index] = None
+            stranded.append(attempt)
+        for attempt in stranded:
+            if attempt.state is not AttemptState.RUNNING:
+                continue
+            attempt.state = AttemptState.LOST
+            attempt.finish = now
+            self._record_attempt(attempt)
+            self.stats.lost_attempts += 1
+            if crash_time is not None:
+                self.stats.detection_delay += now - crash_time
+                self.stats.wasted_work += max(
+                    0.0, crash_time - attempt.start
+                )
+            self._after_loss(self._owner[attempt])
+
+    def _on_detect(self, machine_id: int, crash_time: float) -> None:
+        machine = self.cluster.machine(machine_id)
+        self.stats.crashes_detected += 1
+        if not machine.alive:
+            self._visible[machine_id] = False
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.detect",
+                ts=self.clock.now,
+                machine=machine_id,
+                crash_time=crash_time,
+            )
+        self._reap_machine(machine_id, crash_time)
+        if self.hooks.on_detect is not None:
+            self.hooks.on_detect(machine_id, self.clock.now)
+        self._replan()
+
+    def _on_recover(self, machine_id: int) -> None:
+        machine = self.cluster.machine(machine_id)
+        if machine.alive:
+            return
+        self.cluster.revive(machine_id)
+        self._epoch[machine_id] += 1
+        self._visible[machine_id] = True
+        self.stats.recoveries += 1
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.recover", ts=self.clock.now, machine=machine_id
+            )
+            self.telemetry.count("executor.recoveries", ts=self.clock.now)
+        # A restart loses in-flight attempts immediately (the rejoining
+        # worker reports no tasks); no detection delay applies.
+        self._reap_machine(machine_id, None)
+        if self.hooks.on_recover is not None:
+            self.hooks.on_recover(machine_id, self.clock.now)
+        self._replan()
+
+    def _on_straggle_on(self, machine_id: int, factor: float) -> None:
+        machine = self.cluster.machine(machine_id)
+        self._straggle_originals.setdefault(machine_id, machine.straggle)
+        machine.straggle = factor
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.straggle_on",
+                ts=self.clock.now,
+                machine=machine_id,
+                factor=factor,
+            )
+        self._replan()
+
+    def _on_straggle_off(self, machine_id: int) -> None:
+        original = self._straggle_originals.pop(machine_id, 1.0)
+        self.cluster.machine(machine_id).straggle = original
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "executor.straggle_off", ts=self.clock.now, machine=machine_id
+            )
+        self._replan()
+
+    # -- speculation --------------------------------------------------------
+
+    def _schedule_heartbeat(self) -> None:
+        if not self._heartbeat_pending:
+            self._heartbeat_pending = True
+            self.events.push(
+                self.clock.now + self.config.heartbeat_interval,
+                ("heartbeat",),
+            )
+
+    def _on_heartbeat(self) -> None:
+        self._heartbeat_pending = False
+        if self.config.speculation:
+            self._speculate()
+        anything_running = any(
+            attempt is not None
+            for slots in self._running
+            for attempt in slots
+        )
+        if self._unfinished and (self.events or anything_running):
+            self._schedule_heartbeat()
+
+    def _speculate(self) -> None:
+        """Spawn backups for attempts a base-speed machine would beat."""
+        now = self.clock.now
+        base_speed = self.cluster.config.base_speed
+        for state in sorted(self._unfinished, key=lambda s: s.order):
+            running = [
+                a for a in state.attempts if a.state is AttemptState.RUNNING
+            ]
+            if len(running) != 1:
+                continue  # nothing running yet, or a backup already exists
+            attempt = running[0]
+            if now - attempt.start < self.config.speculation_min_elapsed:
+                continue
+            fresh = state.task.cost / base_speed
+            expected_total = attempt.expected_finish - attempt.start
+            remaining = attempt.expected_finish - now
+            if (
+                expected_total <= self.config.speculation_slowdown * fresh
+                or remaining <= fresh
+            ):
+                continue
+            placement = self._best_idle_slot(state.task, attempt.machine_id)
+            if placement is not None:
+                machine_id, slot_index = placement
+                fetched = (
+                    state.task.preferred_machine is not None
+                    and state.task.preferred_machine != machine_id
+                )
+                self._begin_attempt(
+                    state, machine_id, slot_index, fetched, speculative=True
+                )
+
+    def _best_idle_slot(
+        self, task: SimTask, avoid_machine: int
+    ) -> tuple[int, int] | None:
+        """The fastest currently-idle, un-queued slot off ``avoid_machine``."""
+        best: tuple[float, int, int, int] | None = None
+        for machine in self.cluster.machines:
+            machine_id = machine.machine_id
+            if (
+                machine_id == avoid_machine
+                or not self._visible[machine_id]
+                or not machine.alive
+            ):
+                continue
+            for slot_index in range(machine.slots):
+                if self._running[machine_id][slot_index] is not None:
+                    continue
+                if self._queues[machine_id][slot_index]:
+                    continue
+                fetched = (
+                    task.preferred_machine is not None
+                    and task.preferred_machine != machine_id
+                )
+                duration = self._duration_on(machine, task, fetched)
+                tiebreak = stable_hash(
+                    (task.label, machine_id, slot_index), salt="speculate"
+                )
+                key = (duration, tiebreak, machine_id, slot_index)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            return None
+        return best[2], best[3]

@@ -1,1042 +1,43 @@
-"""Event-driven task-attempt execution with mid-wave fault tolerance (§6).
+"""Compatibility facade over the executor package split.
 
-The greedy list scheduler in :mod:`repro.cluster.scheduler` *plans* a wave
-as if nothing ever fails.  This module *executes* waves: each task becomes
-a sequence of **attempts** driven through the shared
-:class:`~repro.cluster.simulation.EventQueue`/:class:`~repro.cluster.simulation.SimClock`.
-The executor processes attempt-start, task-finish, transient-failure,
-machine-crash, heartbeat-timeout (crash detection), machine-recover,
-straggle-episode, and heartbeat (speculation) events:
+The event-driven executor used to live here as one module; it is now
+four, by concern:
 
-* attempts on a crashed machine keep "running" as zombies until the
-  master misses heartbeats for ``heartbeat_timeout`` seconds, then they
-  are reaped and rescheduled with exponential backoff;
-* a task whose attempts fail ``max_attempts`` times surfaces a typed
-  :class:`~repro.common.errors.TaskFailedError`;
-* slow attempts past a LATE-style progress threshold spawn speculative
-  backups with first-finish-wins semantics (the loser is killed).
+* :mod:`repro.cluster.exec_types` — config, attempt/report records, hooks;
+* :mod:`repro.cluster.waveexec` — the wave executor's planning and
+  attempt event loop (fault handlers in :mod:`repro.cluster.exec_faults`);
+* :mod:`repro.cluster.dagexec` — topological-readiness DAG execution;
+* :mod:`repro.cluster.exec_api` — one-call ``execute_*`` entry points.
 
-Execution separates *planning* from *running*.  Planning is the exact
-greedy list-scheduling pass the old ``simulate_wave`` performed — tasks
-in longest-processing-time order, each policy's ``choose()`` against the
-evolving projected free-time matrix — producing per-slot queues of
-committed attempts.  Running turns each commitment into timed events.
-Any fault (transient failure, crash detection, recovery, straggle
-episode, a speculative win) cancels every not-yet-started commitment and
-replans it against the post-fault cluster.  Fault-free (no chaos,
-speculation off) nothing ever invalidates the plan, so start times,
-placements, and the makespan are *identical* to the greedy planner —
-``simulate_wave`` is now a thin wrapper over this executor and existing
-figures/tables are unchanged.
+Every historical import path (``from repro.cluster.executor import ...``)
+keeps working through this module.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
-
-from repro.cluster.machine import Cluster, Machine
-from repro.cluster.scheduler import Assignment, Scheduler, SimTask
-from repro.cluster.simulation import EventQueue, SimClock
-from repro.common.errors import SchedulingError, TaskFailedError
-from repro.common.hashing import stable_hash
-from repro.telemetry import SpanKind, Telemetry
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from repro.cluster.chaos import ChaosSchedule
-
-
-class AttemptState(enum.Enum):
-    """Lifecycle of one task attempt."""
-
-    RUNNING = "running"
-    FINISHED = "finished"
-    #: Died to a transient (task-level) failure.
-    FAILED = "failed"
-    #: Was on a machine that crashed; reaped at detection time.
-    LOST = "lost"
-    #: Killed because a sibling attempt finished first.
-    KILLED = "killed"
-
-
-@dataclass(frozen=True)
-class ExecutorConfig:
-    """Knobs for attempt execution, detection, retry, and speculation."""
-
-    #: Seconds between master heartbeat scans (speculation cadence).
-    heartbeat_interval: float = 1.0
-    #: Seconds of missed heartbeats before a crashed machine's attempts
-    #: are declared lost and rescheduled (the detection delay).
-    heartbeat_timeout: float = 3.0
-    #: Failed/lost attempts allowed per task before TaskFailedError.
-    max_attempts: int = 4
-    #: First retry waits this long; later retries back off exponentially.
-    backoff_base: float = 0.5
-    backoff_factor: float = 2.0
-    #: Enable LATE-style speculative backup attempts.
-    speculation: bool = False
-    #: An attempt is "late" when its machine runs the task this many
-    #: times slower than a base-speed machine would.
-    speculation_slowdown: float = 1.8
-    #: Do not speculate before an attempt has run at least this long.
-    speculation_min_elapsed: float = 0.5
-
-
-@dataclass(eq=False)
-class TaskAttempt:
-    """One placement of a task on a (machine, slot), with its fate."""
-
-    task: SimTask
-    number: int
-    machine_id: int
-    slot_index: int
-    start: float
-    expected_finish: float
-    epoch: int
-    fetched: bool = False
-    speculative: bool = False
-    #: Dispatched to a crashed machine before the master noticed: it
-    #: exists only in the master's imagination and can never finish.
-    ghost: bool = False
-    state: AttemptState = AttemptState.RUNNING
-    finish: float | None = None
-
-
-@dataclass
-class RecoveryStats:
-    """What fault tolerance cost during execution (the run report's view)."""
-
-    attempts_started: int = 0
-    attempts_finished: int = 0
-    transient_failures: int = 0
-    lost_attempts: int = 0
-    crashes: int = 0
-    crashes_detected: int = 0
-    recoveries: int = 0
-    #: Sum over lost attempts of (detection time - crash time).
-    detection_delay: float = 0.0
-    #: Total seconds tasks spent cooling off before retries.
-    backoff_delay: float = 0.0
-    #: Simulated seconds of execution thrown away by failures/crashes.
-    wasted_work: float = 0.0
-    speculative_attempts: int = 0
-    speculative_wins: int = 0
-    #: Runtime of attempts killed because a sibling won the race.
-    speculative_waste: float = 0.0
-
-    def re_executed_attempts(self) -> int:
-        return self.transient_failures + self.lost_attempts
-
-    def as_dict(self) -> dict[str, float]:
-        return {
-            "attempts_started": float(self.attempts_started),
-            "attempts_finished": float(self.attempts_finished),
-            "transient_failures": float(self.transient_failures),
-            "lost_attempts": float(self.lost_attempts),
-            "re_executed_attempts": float(self.re_executed_attempts()),
-            "crashes": float(self.crashes),
-            "crashes_detected": float(self.crashes_detected),
-            "recoveries": float(self.recoveries),
-            "detection_delay": self.detection_delay,
-            "backoff_delay": self.backoff_delay,
-            "wasted_work": self.wasted_work,
-            "speculative_attempts": float(self.speculative_attempts),
-            "speculative_wins": float(self.speculative_wins),
-            "speculative_waste": self.speculative_waste,
-        }
-
-
-@dataclass
-class ExecutorHooks:
-    """Callbacks into the storage layers, fired as faults unfold.
-
-    Each receives ``(machine_id, sim_time)``.  ``on_crash`` fires when the
-    machine physically dies (in-memory state loss happens now);
-    ``on_detect`` fires when the master notices (re-replication repair
-    belongs here); ``on_recover`` fires when the machine rejoins.
-    """
-
-    on_crash: Callable[[int, float], None] | None = None
-    on_detect: Callable[[int, float], None] | None = None
-    on_recover: Callable[[int, float], None] | None = None
-
-
-@dataclass
-class ExecutionReport:
-    """Everything one (multi-wave) execution produced."""
-
-    makespan: float
-    map_finish: float
-    assignments: list[Assignment]
-    attempts: list[TaskAttempt]
-    stats: RecoveryStats
-
-
-@dataclass(eq=False)
-class _TaskState:
-    """Executor-side bookkeeping for one task across its attempts."""
-
-    task: SimTask
-    order: int
-    failures: int = 0
-    done: bool = False
-    cooling: bool = False
-    attempts: list[TaskAttempt] = field(default_factory=list)
-    winner: Assignment | None = None
-
-    def has_live_attempt(self) -> bool:
-        return any(a.state is AttemptState.RUNNING for a in self.attempts)
-
-
-@dataclass(eq=False)
-class _Commitment:
-    """A planned (not yet started) attempt: task -> slot at [start, finish)."""
-
-    state: _TaskState
-    machine_id: int
-    slot_index: int
-    start: float
-    finish: float
-    fetched: bool
-    cancelled: bool = False
-
-
-class WaveExecutor:
-    """Executes task waves on a cluster, one event at a time.
-
-    One executor instance may run several consecutive waves (``run`` is a
-    barrier); the clock, pending chaos events, and machine visibility
-    carry over, so a crash scheduled during the map wave is still being
-    repaired while the reduce wave runs.
-    """
-
-    def __init__(
-        self,
-        cluster: Cluster,
-        scheduler: Scheduler,
-        config: ExecutorConfig | None = None,
-        chaos: "ChaosSchedule | None" = None,
-        hooks: ExecutorHooks | None = None,
-        start_time: float = 0.0,
-        telemetry: Telemetry | None = None,
-    ) -> None:
-        self.cluster = cluster
-        self.scheduler = scheduler
-        self.config = config or ExecutorConfig()
-        self.chaos = chaos
-        self.hooks = hooks or ExecutorHooks()
-        #: Telemetry backbone to emit attempt spans and fault events into;
-        #: ``None`` keeps the executor silent (standalone/unit-test use).
-        self.telemetry = telemetry
-        self.clock = SimClock()
-        if start_time:
-            self.clock.advance_to(start_time)
-        self.events = EventQueue()
-        self.stats = RecoveryStats()
-        self.attempt_log: list[TaskAttempt] = []
-        #: Master's view: which machines it believes schedulable.  A
-        #: crashed machine stays visible (and collects doomed dispatches)
-        #: until the heartbeat timeout expires.
-        self._visible: list[bool] = [m.alive for m in cluster.machines]
-        #: Bumped on crash and on recover; attempts carry the epoch they
-        #: started under, so stale finish events are recognisable.
-        self._epoch: list[int] = [0] * len(cluster.machines)
-        self._running: list[list[TaskAttempt | None]] = [
-            [None] * m.slots for m in cluster.machines
-        ]
-        #: Planned-but-not-started commitments, per slot, in start order.
-        self._queues: list[list[list[_Commitment]]] = [
-            [[] for _ in range(m.slots)] for m in cluster.machines
-        ]
-        #: Attempts the master believes started on a machine that was in
-        #: fact already dead; reaped at detection/recovery.
-        self._ghosts: list[list[TaskAttempt]] = [
-            [] for _ in cluster.machines
-        ]
-        self._owner: dict[TaskAttempt, _TaskState] = {}
-        self._pending: list[_TaskState] = []
-        self._unfinished: set[_TaskState] = set()
-        self._heartbeat_pending = False
-        self._straggle_originals: dict[int, float] = {}
-        if chaos is not None:
-            for crash in chaos.crashes:
-                self.events.push(crash.time, ("crash", crash.machine_id))
-                if crash.recover_at is not None:
-                    self.events.push(
-                        crash.recover_at, ("recover", crash.machine_id)
-                    )
-            for episode in chaos.straggles:
-                self.events.push(
-                    episode.start,
-                    ("straggle_on", episode.machine_id, episode.factor),
-                )
-                self.events.push(
-                    episode.end, ("straggle_off", episode.machine_id)
-                )
-
-    # -- public API ---------------------------------------------------------
-
-    def run(self, tasks: Sequence[SimTask]) -> tuple[float, list[Assignment]]:
-        """Execute one wave to completion (a barrier); returns
-        ``(finish_time, assignments)`` for the wave's winning attempts,
-        in the greedy planner's longest-processing-time order."""
-        states = [
-            _TaskState(task=task, order=index)
-            for index, task in enumerate(
-                sorted(tasks, key=lambda t: (-t.cost, t.label))
-            )
-        ]
-        self._pending = list(states)
-        self._unfinished = set(states)
-        return self._drive(states)
-
-    def _drive(
-        self, states: list[_TaskState]
-    ) -> tuple[float, list[Assignment]]:
-        """Process events until every task in ``states`` has finished."""
-        start = self.clock.now
-        if self.config.speculation and states:
-            self._schedule_heartbeat()
-        self._plan()
-
-        while self._unfinished:
-            if not self.events:
-                raise SchedulingError(
-                    f"executor deadlocked: {len(self._pending)} pending "
-                    "tasks, nothing running, and no future events"
-                )
-            when, payload = self.events.pop()
-            self.clock.advance_to(when)
-            self._handle(payload)
-
-        finish = max(
-            [start] + [s.winner.finish for s in states if s.winner is not None]
-        )
-        ordered = [s.winner for s in states if s.winner is not None]
-        return finish, ordered
-
-    def _task_completed(self, state: _TaskState) -> None:
-        """Hook fired when a task's winning attempt finishes; the DAG
-        executor overrides it to release dependents."""
-
-    def restore_straggles(self) -> None:
-        """Undo straggle episodes still open when execution ended."""
-        for machine_id, original in self._straggle_originals.items():
-            self.cluster.machine(machine_id).straggle = original
-        self._straggle_originals.clear()
-
-    # -- planning -----------------------------------------------------------
-
-    def _plan_base(self) -> list[list[float]]:
-        """The projected free-time matrix: idle slots free now, busy ones
-        at their running attempt's expected finish, committed ones at the
-        tail commitment's finish; invisible machines have no slots."""
-        now = self.clock.now
-        matrix: list[list[float]] = []
-        for machine in self.cluster.machines:
-            machine_id = machine.machine_id
-            # Plans never target dead machines (the policies' choose()
-            # assumes live ones, exactly as the greedy planner did); the
-            # undetected-crash window still produces doomed dispatches
-            # via commitments made before the crash.
-            if not self._visible[machine_id] or not machine.alive:
-                matrix.append([])
-                continue
-            row = []
-            for slot_index in range(machine.slots):
-                when = now
-                attempt = self._running[machine_id][slot_index]
-                if attempt is not None:
-                    when = max(when, attempt.expected_finish)
-                queue = self._queues[machine_id][slot_index]
-                if queue:
-                    when = max(when, queue[-1].finish)
-                row.append(when)
-            matrix.append(row)
-        return matrix
-
-    def _plan(self) -> None:
-        """Greedy list scheduling of pending tasks onto slot queues.
-
-        This is exactly the old ``simulate_wave`` loop: tasks in LPT
-        order, each policy's ``choose()`` against the evolving free-time
-        matrix — except commitments become timed start events instead of
-        immediately final assignments.
-        """
-        if not self._pending:
-            return
-        free_times = self._plan_base()
-        if not any(free_times):
-            if self.events:
-                return  # wait for a detection/recovery event to replan
-            # All-dead cluster with no way out: let the policy raise
-            # exactly as the greedy planner would have.
-            self.scheduler.choose(
-                self._pending[0].task, free_times, self.cluster
-            )
-            raise SchedulingError("no schedulable slots")
-        for state in sorted(self._pending, key=lambda s: s.order):
-            machine_id, slot_index = self.scheduler.choose(
-                state.task, free_times, self.cluster
-            )
-            machine = self.cluster.machine(machine_id)
-            task = state.task
-            fetched = (
-                task.preferred_machine is not None
-                and task.preferred_machine != machine_id
-            )
-            start = free_times[machine_id][slot_index]
-            finish = start + self._duration_on(machine, task, fetched)
-            free_times[machine_id][slot_index] = finish
-            commitment = _Commitment(
-                state=state,
-                machine_id=machine_id,
-                slot_index=slot_index,
-                start=start,
-                finish=finish,
-                fetched=fetched,
-            )
-            self._queues[machine_id][slot_index].append(commitment)
-            self.events.push(start, ("start", commitment))
-        self._pending.clear()
-
-    def _replan(self) -> None:
-        """Cancel every not-yet-started commitment and plan it afresh
-        against the cluster as it looks right now."""
-        for machine_queues in self._queues:
-            for queue in machine_queues:
-                for commitment in queue:
-                    commitment.cancelled = True
-                    state = commitment.state
-                    if (
-                        not state.done
-                        and not state.cooling
-                        and not state.has_live_attempt()
-                        and state not in self._pending
-                    ):
-                        self._pending.append(state)
-                queue.clear()
-        self._plan()
-
-    def _duration_on(
-        self, machine: Machine, task: SimTask, fetched: bool
-    ) -> float:
-        if machine.alive:
-            duration = machine.duration_for(task.cost)
-        else:  # undetected-dead machine: the attempt is doomed anyway
-            duration = task.cost / (machine.speed * machine.straggle)
-        if fetched:
-            duration += (
-                task.fetch_bytes * self.cluster.config.network_cost_per_byte
-            )
-        return duration
-
-    # -- attempt lifecycle --------------------------------------------------
-
-    def _begin_attempt(
-        self,
-        state: _TaskState,
-        machine_id: int,
-        slot_index: int,
-        fetched: bool,
-        speculative: bool = False,
-    ) -> TaskAttempt:
-        machine = self.cluster.machine(machine_id)
-        now = self.clock.now
-        duration = self._duration_on(machine, state.task, fetched)
-        attempt = TaskAttempt(
-            task=state.task,
-            number=len(state.attempts),
-            machine_id=machine_id,
-            slot_index=slot_index,
-            start=now,
-            expected_finish=now + duration,
-            epoch=self._epoch[machine_id],
-            fetched=fetched,
-            speculative=speculative,
-            ghost=not machine.alive,
-        )
-        state.attempts.append(attempt)
-        self._owner[attempt] = state
-        self.attempt_log.append(attempt)
-        self.stats.attempts_started += 1
-        if speculative:
-            self.stats.speculative_attempts += 1
-        if attempt.ghost:
-            # Started into the void: no events will ever fire for it; the
-            # detection sweep reaps it along with the machine's zombies.
-            self._ghosts[machine_id].append(attempt)
-            return attempt
-        self._running[machine_id][slot_index] = attempt
-        if self.chaos is not None and self.chaos.attempt_fails(
-            state.task.label, attempt.number
-        ):
-            fail_at = now + duration * self.chaos.failure_fraction()
-            self.events.push(fail_at, ("fail", attempt))
-        else:
-            self.events.push(attempt.expected_finish, ("finish", attempt))
-        return attempt
-
-    # -- event handling -----------------------------------------------------
-
-    def _handle(self, payload: tuple) -> None:
-        kind = payload[0]
-        if kind == "start":
-            self._on_start(payload[1])
-        elif kind == "finish":
-            self._on_finish(payload[1])
-        elif kind == "fail":
-            self._on_fail(payload[1])
-        elif kind == "retry":
-            self._on_retry(payload[1])
-        elif kind == "crash":
-            self._on_crash(payload[1])
-        elif kind == "detect":
-            self._on_detect(payload[1], payload[2])
-        elif kind == "recover":
-            self._on_recover(payload[1])
-        elif kind == "heartbeat":
-            self._on_heartbeat()
-        elif kind == "straggle_on":
-            self._on_straggle_on(payload[1], payload[2])
-        elif kind == "straggle_off":
-            self._on_straggle_off(payload[1])
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown event {kind!r}")
-
-    def _attempt_event_is_stale(self, attempt: TaskAttempt) -> bool:
-        machine = self.cluster.machine(attempt.machine_id)
-        return (
-            attempt.state is not AttemptState.RUNNING
-            or not machine.alive
-            or attempt.epoch != self._epoch[attempt.machine_id]
-        )
-
-    def _release_slot(self, attempt: TaskAttempt) -> None:
-        slots = self._running[attempt.machine_id]
-        if slots[attempt.slot_index] is attempt:
-            slots[attempt.slot_index] = None
-
-    def _on_start(self, commitment: _Commitment) -> None:
-        if commitment.cancelled or commitment.state.done:
-            return
-        machine_id = commitment.machine_id
-        slot_index = commitment.slot_index
-        queue = self._queues[machine_id][slot_index]
-        if commitment in queue:
-            queue.remove(commitment)
-        occupant = self._running[machine_id][slot_index]
-        if (
-            occupant is not None
-            and occupant.expected_finish <= self.clock.now
-            and not self._attempt_event_is_stale(occupant)
-        ):
-            # Start and predecessor-finish land on the same instant; the
-            # finish must be applied first.  Its own queued event becomes
-            # a no-op via the state check.
-            self._on_finish(occupant)
-            if commitment.cancelled or commitment.state.done:
-                return
-        if self._running[machine_id][slot_index] is not None:
-            # The plan went stale (e.g. a zombie still holds the slot):
-            # put the task back and replan everything.
-            if commitment.state not in self._pending:
-                self._pending.append(commitment.state)
-            self._replan()
-            return
-        self._begin_attempt(
-            commitment.state, machine_id, slot_index, commitment.fetched
-        )
-
-    def _record_attempt(self, attempt: TaskAttempt) -> None:
-        """Emit a terminal attempt into the telemetry backbone, on its
-        machine/slot trace lane with simulated-clock timestamps."""
-        if self.telemetry is None or attempt.finish is None:
-            return
-        self.telemetry.record_span(
-            f"{attempt.task.label}#{attempt.number}",
-            SpanKind.ATTEMPT,
-            start=attempt.start,
-            end=attempt.finish,
-            thread=f"m{attempt.machine_id}.s{attempt.slot_index}",
-            task_kind=attempt.task.kind,
-            state=attempt.state.value,
-            speculative=attempt.speculative,
-            ghost=attempt.ghost,
-        )
-        self.telemetry.count(
-            f"executor.attempts.{attempt.state.value}", ts=attempt.finish
-        )
-
-    def _on_finish(self, attempt: TaskAttempt) -> None:
-        if self._attempt_event_is_stale(attempt):
-            return  # zombie on a crashed machine; the detect sweep reaps it
-        now = self.clock.now
-        attempt.state = AttemptState.FINISHED
-        attempt.finish = now
-        self._record_attempt(attempt)
-        self._release_slot(attempt)
-        self.stats.attempts_finished += 1
-        state = self._owner[attempt]
-        if state.done:
-            return
-        state.done = True
-        self._unfinished.discard(state)
-        if attempt.speculative:
-            self.stats.speculative_wins += 1
-        state.winner = Assignment(
-            task=state.task,
-            machine_id=attempt.machine_id,
-            start=attempt.start,
-            finish=now,
-            fetched=attempt.fetched,
-        )
-        # First finish wins: kill the losing sibling attempts and hand
-        # their slots to whoever the planner now prefers.
-        killed = False
-        for sibling in state.attempts:
-            if sibling is attempt or sibling.state is not AttemptState.RUNNING:
-                continue
-            sibling.state = AttemptState.KILLED
-            sibling.finish = now
-            self._record_attempt(sibling)
-            if not sibling.ghost:
-                self._release_slot(sibling)
-            self.stats.speculative_waste += max(0.0, now - sibling.start)
-            killed = True
-        if killed:
-            self._replan()
-        self._task_completed(state)
-
-    def _on_fail(self, attempt: TaskAttempt) -> None:
-        if self._attempt_event_is_stale(attempt):
-            return
-        now = self.clock.now
-        attempt.state = AttemptState.FAILED
-        attempt.finish = now
-        self._record_attempt(attempt)
-        self._release_slot(attempt)
-        self.stats.transient_failures += 1
-        self.stats.wasted_work += max(0.0, now - attempt.start)
-        self._after_loss(self._owner[attempt])
-        # The slot freed earlier than planned; successors can move up.
-        self._replan()
-
-    def _after_loss(self, state: _TaskState) -> None:
-        """Count a failed/lost attempt; retry with backoff or give up."""
-        state.failures += 1
-        if state.done:
-            return
-        if state.has_live_attempt():
-            return  # a sibling (speculative backup) may still win
-        if state.failures >= self.config.max_attempts:
-            raise TaskFailedError(state.task.label, state.failures)
-        delay = self.config.backoff_base * (
-            self.config.backoff_factor ** (state.failures - 1)
-        )
-        self.stats.backoff_delay += delay
-        state.cooling = True
-        self.events.push(self.clock.now + delay, ("retry", state))
-
-    def _on_retry(self, state: _TaskState) -> None:
-        state.cooling = False
-        if state.done or state.has_live_attempt():
-            return
-        if state not in self._pending:
-            self._pending.append(state)
-        self._plan()
-
-    def _on_crash(self, machine_id: int) -> None:
-        machine = self.cluster.machine(machine_id)
-        if not machine.alive:
-            return
-        self.cluster.kill(machine_id)
-        self._epoch[machine_id] += 1
-        self.stats.crashes += 1
-        if self.telemetry is not None:
-            self.telemetry.instant(
-                "executor.crash", ts=self.clock.now, machine=machine_id
-            )
-            self.telemetry.count("executor.crashes", ts=self.clock.now)
-        self.events.push(
-            self.clock.now + self.config.heartbeat_timeout,
-            ("detect", machine_id, self.clock.now),
-        )
-        if self.hooks.on_crash is not None:
-            self.hooks.on_crash(machine_id, self.clock.now)
-
-    def _reap_machine(self, machine_id: int, crash_time: float | None) -> None:
-        """Reap attempts stranded on a crashed/restarted machine."""
-        machine = self.cluster.machine(machine_id)
-        now = self.clock.now
-        stranded: list[TaskAttempt] = list(self._ghosts[machine_id])
-        self._ghosts[machine_id].clear()
-        for slot_index, attempt in enumerate(self._running[machine_id]):
-            if attempt is None or attempt.state is not AttemptState.RUNNING:
-                continue
-            if machine.alive and attempt.epoch == self._epoch[machine_id]:
-                continue  # started after the restart; still healthy
-            self._running[machine_id][slot_index] = None
-            stranded.append(attempt)
-        for attempt in stranded:
-            if attempt.state is not AttemptState.RUNNING:
-                continue
-            attempt.state = AttemptState.LOST
-            attempt.finish = now
-            self._record_attempt(attempt)
-            self.stats.lost_attempts += 1
-            if crash_time is not None:
-                self.stats.detection_delay += now - crash_time
-                self.stats.wasted_work += max(
-                    0.0, crash_time - attempt.start
-                )
-            self._after_loss(self._owner[attempt])
-
-    def _on_detect(self, machine_id: int, crash_time: float) -> None:
-        machine = self.cluster.machine(machine_id)
-        self.stats.crashes_detected += 1
-        if not machine.alive:
-            self._visible[machine_id] = False
-        if self.telemetry is not None:
-            self.telemetry.instant(
-                "executor.detect",
-                ts=self.clock.now,
-                machine=machine_id,
-                crash_time=crash_time,
-            )
-        self._reap_machine(machine_id, crash_time)
-        if self.hooks.on_detect is not None:
-            self.hooks.on_detect(machine_id, self.clock.now)
-        self._replan()
-
-    def _on_recover(self, machine_id: int) -> None:
-        machine = self.cluster.machine(machine_id)
-        if machine.alive:
-            return
-        self.cluster.revive(machine_id)
-        self._epoch[machine_id] += 1
-        self._visible[machine_id] = True
-        self.stats.recoveries += 1
-        if self.telemetry is not None:
-            self.telemetry.instant(
-                "executor.recover", ts=self.clock.now, machine=machine_id
-            )
-            self.telemetry.count("executor.recoveries", ts=self.clock.now)
-        # A restart loses in-flight attempts immediately (the rejoining
-        # worker reports no tasks); no detection delay applies.
-        self._reap_machine(machine_id, None)
-        if self.hooks.on_recover is not None:
-            self.hooks.on_recover(machine_id, self.clock.now)
-        self._replan()
-
-    def _on_straggle_on(self, machine_id: int, factor: float) -> None:
-        machine = self.cluster.machine(machine_id)
-        self._straggle_originals.setdefault(machine_id, machine.straggle)
-        machine.straggle = factor
-        if self.telemetry is not None:
-            self.telemetry.instant(
-                "executor.straggle_on",
-                ts=self.clock.now,
-                machine=machine_id,
-                factor=factor,
-            )
-        self._replan()
-
-    def _on_straggle_off(self, machine_id: int) -> None:
-        original = self._straggle_originals.pop(machine_id, 1.0)
-        self.cluster.machine(machine_id).straggle = original
-        if self.telemetry is not None:
-            self.telemetry.instant(
-                "executor.straggle_off", ts=self.clock.now, machine=machine_id
-            )
-        self._replan()
-
-    # -- speculation --------------------------------------------------------
-
-    def _schedule_heartbeat(self) -> None:
-        if not self._heartbeat_pending:
-            self._heartbeat_pending = True
-            self.events.push(
-                self.clock.now + self.config.heartbeat_interval,
-                ("heartbeat",),
-            )
-
-    def _on_heartbeat(self) -> None:
-        self._heartbeat_pending = False
-        if self.config.speculation:
-            self._speculate()
-        anything_running = any(
-            attempt is not None
-            for slots in self._running
-            for attempt in slots
-        )
-        if self._unfinished and (self.events or anything_running):
-            self._schedule_heartbeat()
-
-    def _speculate(self) -> None:
-        """Spawn backups for attempts a base-speed machine would beat."""
-        now = self.clock.now
-        base_speed = self.cluster.config.base_speed
-        for state in sorted(self._unfinished, key=lambda s: s.order):
-            running = [
-                a for a in state.attempts if a.state is AttemptState.RUNNING
-            ]
-            if len(running) != 1:
-                continue  # nothing running yet, or a backup already exists
-            attempt = running[0]
-            if now - attempt.start < self.config.speculation_min_elapsed:
-                continue
-            fresh = state.task.cost / base_speed
-            expected_total = attempt.expected_finish - attempt.start
-            remaining = attempt.expected_finish - now
-            if (
-                expected_total <= self.config.speculation_slowdown * fresh
-                or remaining <= fresh
-            ):
-                continue
-            placement = self._best_idle_slot(state.task, attempt.machine_id)
-            if placement is not None:
-                machine_id, slot_index = placement
-                fetched = (
-                    state.task.preferred_machine is not None
-                    and state.task.preferred_machine != machine_id
-                )
-                self._begin_attempt(
-                    state, machine_id, slot_index, fetched, speculative=True
-                )
-
-    def _best_idle_slot(
-        self, task: SimTask, avoid_machine: int
-    ) -> tuple[int, int] | None:
-        """The fastest currently-idle, un-queued slot off ``avoid_machine``."""
-        best: tuple[float, int, int, int] | None = None
-        for machine in self.cluster.machines:
-            machine_id = machine.machine_id
-            if (
-                machine_id == avoid_machine
-                or not self._visible[machine_id]
-                or not machine.alive
-            ):
-                continue
-            for slot_index in range(machine.slots):
-                if self._running[machine_id][slot_index] is not None:
-                    continue
-                if self._queues[machine_id][slot_index]:
-                    continue
-                fetched = (
-                    task.preferred_machine is not None
-                    and task.preferred_machine != machine_id
-                )
-                duration = self._duration_on(machine, task, fetched)
-                tiebreak = stable_hash(
-                    (task.label, machine_id, slot_index), salt="speculate"
-                )
-                key = (duration, tiebreak, machine_id, slot_index)
-                if best is None or key < best:
-                    best = key
-        if best is None:
-            return None
-        return best[2], best[3]
-
-
-class DagExecutor(WaveExecutor):
-    """Executes a dependency DAG of tasks at sub-computation granularity.
-
-    Instead of the two-wave barrier (all maps, then all reduces), a task
-    becomes schedulable the moment its dependencies finish — *topological
-    readiness*.  Ready tasks are planned by the same greedy policies, but
-    considered in **critical-path-first** order: the priority of a task is
-    the heaviest cost chain hanging below it in the DAG, so the chain that
-    bounds the makespan is never starved by wide-but-shallow work.  All of
-    the wave executor's fault machinery (crash detection, retries,
-    speculation, replanning) applies unchanged.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self._dep_remaining: dict[_TaskState, int] = {}
-        self._dependents: dict[_TaskState, list[_TaskState]] = {}
-
-    def run_dag(
-        self,
-        tasks: Sequence[SimTask],
-        deps: dict[str, Sequence[str]],
-    ) -> tuple[float, list[Assignment]]:
-        """Execute ``tasks`` honouring ``deps`` (task label -> labels it
-        depends on); returns ``(finish_time, assignments)`` with the
-        assignments in critical-path priority order."""
-        by_label: dict[str, SimTask] = {}
-        for task in tasks:
-            if task.label in by_label:
-                raise SchedulingError(f"duplicate task label {task.label!r}")
-            by_label[task.label] = task
-        parents: dict[str, tuple[str, ...]] = {}
-        for label, parent_labels in deps.items():
-            if label not in by_label:
-                raise SchedulingError(f"deps reference unknown task {label!r}")
-            unique = tuple(dict.fromkeys(parent_labels))
-            for parent in unique:
-                if parent not in by_label:
-                    raise SchedulingError(
-                        f"task {label!r} depends on unknown task {parent!r}"
-                    )
-            parents[label] = unique
-
-        priority = critical_path_priority(tasks, parents)
-        states: dict[str, _TaskState] = {}
-        ranked = sorted(tasks, key=lambda t: (-priority[t.label], t.label))
-        for order, task in enumerate(ranked):
-            states[task.label] = _TaskState(task=task, order=order)
-
-        self._dep_remaining = {
-            states[label]: len(parents.get(label, ()))
-            for label in states
-        }
-        self._dependents = {state: [] for state in states.values()}
-        for label, parent_labels in parents.items():
-            for parent in parent_labels:
-                self._dependents[states[parent]].append(states[label])
-
-        self._pending = [
-            state
-            for state in sorted(states.values(), key=lambda s: s.order)
-            if self._dep_remaining[state] == 0
-        ]
-        self._unfinished = set(states.values())
-        return self._drive(list(states.values()))
-
-    def _task_completed(self, state: _TaskState) -> None:
-        """Topological release: finished tasks unlock their dependents."""
-        released = False
-        for child in self._dependents.get(state, ()):
-            self._dep_remaining[child] -= 1
-            if self._dep_remaining[child] == 0 and not child.done:
-                self._pending.append(child)
-                released = True
-        if released:
-            self._plan()
-
-
-def critical_path_priority(
-    tasks: Sequence[SimTask], parents: dict[str, Sequence[str]]
-) -> dict[str, float]:
-    """For each task, the heaviest cost chain from it down to any sink
-    (inclusive).  Raises :class:`SchedulingError` on dependency cycles."""
-    children: dict[str, list[str]] = {task.label: [] for task in tasks}
-    remaining: dict[str, int] = {task.label: 0 for task in tasks}
-    for label, parent_labels in parents.items():
-        remaining[label] = len(parent_labels)
-        for parent in parent_labels:
-            children[parent].append(label)
-    order = [label for label, count in remaining.items() if count == 0]
-    cursor = 0
-    while cursor < len(order):
-        label = order[cursor]
-        cursor += 1
-        for child in children[label]:
-            remaining[child] -= 1
-            if remaining[child] == 0:
-                order.append(child)
-    if len(order) != len(tasks):
-        stuck = sorted(label for label, n in remaining.items() if n > 0)
-        raise SchedulingError(f"dependency cycle among tasks: {stuck[:5]}")
-    costs = {task.label: task.cost for task in tasks}
-    priority: dict[str, float] = {}
-    for label in reversed(order):
-        below = max((priority[child] for child in children[label]), default=0.0)
-        priority[label] = costs[label] + below
-    return priority
-
-
-def execute_dag(
-    tasks: Sequence[SimTask],
-    deps: dict[str, Sequence[str]],
-    cluster: Cluster,
-    scheduler: Scheduler,
-    config: ExecutorConfig | None = None,
-    chaos: "ChaosSchedule | None" = None,
-    hooks: ExecutorHooks | None = None,
-    telemetry: Telemetry | None = None,
-) -> ExecutionReport:
-    """Execute a task DAG on the event-driven executor.
-
-    The dependency-aware analogue of :func:`execute_two_waves`: no global
-    barriers — readiness is topological, placement is the scheduling
-    policy's (locality against block/cache placement comes in through each
-    task's ``preferred_machine``), and ties break critical-path-first.
-    """
-    executor = DagExecutor(
-        cluster, scheduler, config=config, chaos=chaos, hooks=hooks,
-        telemetry=telemetry,
-    )
-    try:
-        finish, assignments = executor.run_dag(tasks, deps)
-    finally:
-        executor.restore_straggles()
-    map_finish = max(
-        (a.finish for a in assignments if a.task.kind == "map"),
-        default=finish,
-    )
-    return ExecutionReport(
-        makespan=finish,
-        map_finish=map_finish,
-        assignments=assignments,
-        attempts=executor.attempt_log,
-        stats=executor.stats,
-    )
-
-
-def execute_wave(
-    tasks: Sequence[SimTask],
-    cluster: Cluster,
-    scheduler: Scheduler,
-    start_time: float = 0.0,
-    config: ExecutorConfig | None = None,
-    chaos: "ChaosSchedule | None" = None,
-    hooks: ExecutorHooks | None = None,
-    telemetry: Telemetry | None = None,
-) -> ExecutionReport:
-    """Execute a single wave; the event-driven analogue of ``simulate_wave``."""
-    executor = WaveExecutor(
-        cluster, scheduler, config=config, chaos=chaos, hooks=hooks,
-        start_time=start_time, telemetry=telemetry,
-    )
-    try:
-        finish, assignments = executor.run(tasks)
-    finally:
-        executor.restore_straggles()
-    return ExecutionReport(
-        makespan=finish,
-        map_finish=finish,
-        assignments=assignments,
-        attempts=executor.attempt_log,
-        stats=executor.stats,
-    )
-
-
-def execute_two_waves(
-    map_tasks: Sequence[SimTask],
-    reduce_tasks: Sequence[SimTask],
-    cluster: Cluster,
-    scheduler: Scheduler,
-    config: ExecutorConfig | None = None,
-    chaos: "ChaosSchedule | None" = None,
-    hooks: ExecutorHooks | None = None,
-    telemetry: Telemetry | None = None,
-) -> ExecutionReport:
-    """Maps, a shuffle barrier, then reduces — one job's fault-tolerant run."""
-    executor = WaveExecutor(cluster, scheduler, config=config, chaos=chaos,
-                            hooks=hooks, telemetry=telemetry)
-    try:
-        map_finish, map_log = executor.run(map_tasks)
-        reduce_finish, reduce_log = executor.run(reduce_tasks)
-    finally:
-        executor.restore_straggles()
-    return ExecutionReport(
-        makespan=reduce_finish,
-        map_finish=map_finish,
-        assignments=map_log + reduce_log,
-        attempts=executor.attempt_log,
-        stats=executor.stats,
-    )
+from repro.cluster.dagexec import DagExecutor, critical_path_priority, execute_dag
+from repro.cluster.exec_types import (
+    AttemptState,
+    ExecutionReport,
+    ExecutorConfig,
+    ExecutorHooks,
+    RecoveryStats,
+    TaskAttempt,
+)
+from repro.cluster.exec_api import execute_two_waves, execute_wave
+from repro.cluster.waveexec import WaveExecutor
+
+__all__ = [
+    "AttemptState",
+    "DagExecutor",
+    "ExecutionReport",
+    "ExecutorConfig",
+    "ExecutorHooks",
+    "RecoveryStats",
+    "TaskAttempt",
+    "WaveExecutor",
+    "critical_path_priority",
+    "execute_dag",
+    "execute_two_waves",
+    "execute_wave",
+]

@@ -6,6 +6,12 @@ Slider engine drives it through the window lifecycle of Algorithm 1:
 ``advance(added, removed)`` which deletes old leaves, inserts new ones,
 propagates the change, and returns the new root partition to feed the
 Reduce function.
+
+Trees are *planners*: every sub-computation flows through
+:meth:`ContractionTree._combine`, which emits a plan step and hands it to
+the shared :class:`~repro.core.execute.PlanExecutor` — the single place
+where memo resolution, combiner execution, work charging, and task-graph
+transcription happen.
 """
 
 from __future__ import annotations
@@ -15,13 +21,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.common.errors import CombinerContractError
+from repro.core.execute import PlanExecutor
 from repro.core.memo import MemoTable
 from repro.core.partition import Partition, combine_partitions
 from repro.metrics import Phase, WorkMeter
 from repro.telemetry import SpanKind
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.mapreduce
-    from repro.core.taskgraph import GraphRecorder
     from repro.mapreduce.combiners import Combiner
 
 
@@ -68,6 +74,7 @@ class ContractionTree(ABC):
         memo_read_cost: float = 0.01,
         memo_write_cost: float = 0.02,
         invocation_overhead: float | None = None,
+        executor: PlanExecutor | None = None,
     ) -> None:
         if not combiner.associative:
             raise CombinerContractError(
@@ -86,10 +93,12 @@ class ContractionTree(ABC):
         )
         self.stats = TreeStats()
         self._ran_initial = False
-        #: Task-graph recorder (set by the engine); every sub-computation
-        #: flowing through :meth:`_combine` records a node while a run's
-        #: graph is open.
-        self.recorder: GraphRecorder | None = None
+        #: The unified plan executor every sub-computation flows through.
+        #: The engine injects its shared executor; a standalone tree runs
+        #: on a private one over its own meter.
+        self.executor = (
+            executor if executor is not None else PlanExecutor(meter=self.meter)
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -114,13 +123,6 @@ class ContractionTree(ABC):
 
     # -- shared machinery ----------------------------------------------------
 
-    def _active_recorder(self) -> GraphRecorder | None:
-        """The recorder, iff a run's graph is currently open."""
-        recorder = self.recorder
-        if recorder is not None and recorder.active:
-            return recorder
-        return None
-
     def _level_span(self, tree: str, level: int):
         """Open a TREE_LEVEL span around one level's contraction sweep.
 
@@ -139,102 +141,35 @@ class ContractionTree(ABC):
         cost_scale: float = 1.0,
         node: str = "",
     ) -> Partition:
-        """One (possibly memoized) combiner invocation over ``parts``.
+        """Plan one (possibly memoized) combiner invocation over ``parts``.
+
+        The step is emitted into the run's plan and resolved by the
+        unified executor (memo lookup, combine, charge, record) — the
+        tree itself never computes.
 
         ``cost_scale`` discounts the charged cost when the merge piggybacks
         on work another task performs anyway (e.g. the Reduce task's own
         merge pass consuming a root-and-delta union in split processing).
 
         ``node`` names this sub-computation's position in the tree's own
-        level structure; it labels the task-graph node when a run's graph
-        is being recorded.
+        level structure; it labels both the plan step and the task-graph
+        node the executor records.
         """
-        with self.meter.telemetry.span(node or "combine", SpanKind.TASK):
-            return self._combine_inner(parts, phase, memo_uid, cost_scale, node)
-
-    def _combine_inner(  # analysis: charge-in-caller-span (_combine's task span)
-        self,
-        parts: Sequence[Partition],
-        phase: Phase,
-        memo_uid: int | None,
-        cost_scale: float,
-        node: str,
-    ) -> Partition:
-        recorder = self._active_recorder()
-        if memo_uid is not None:
-            cached = self.memo.lookup(memo_uid)
-            if cached is not None:
-                self.stats.combiner_reuses += 1
-                if self.memo_read_cost:
-                    self.meter.charge(Phase.MEMO_READ, self.memo_read_cost)
-                if recorder is not None:
-                    recorder.memo_read(
-                        cached,
-                        cost=self.memo_read_cost,
-                        label=node or f"memo:{memo_uid:#x}",
-                        memo_uid=memo_uid,
-                    )
-                return cached
-        self.stats.combiner_invocations += 1
-        non_empty = sum(1 for p in parts if p)
-        if non_empty == 1:
-            # A pass-through node (single live child): no merge runs, but
-            # the child's data still moves through the tree position — on a
-            # real cluster every tree node spills and copies its input, so
-            # an overly tall tree is not free even where siblings are void.
-            value = next(p for p in parts if p)
-            charge = cost_scale * (
-                0.5 * self.invocation_overhead
-                + self.PASS_THROUGH_WEIGHT * value.record_weight(self.combiner)
-            )
-            self.meter.charge(phase, charge)
-            if recorder is not None:
-                recorder.combine(
-                    parts, value, phase, charge, label=node, pass_through=True
-                )
-            return value
-        before = self.meter.by_phase.get(phase, 0.0) if recorder else 0.0
-        result = combine_partitions(
+        return self.executor.combine(
+            self,
             parts,
-            self.combiner,
-            meter=self.meter,
             phase=phase,
-            cost_factor=self.combine_cost_factor * cost_scale,
-            invocation_overhead=self.invocation_overhead * cost_scale,
+            memo_uid=memo_uid,
+            cost_scale=cost_scale,
+            node=node,
         )
-        combine_node = None
-        if recorder is not None:
-            combine_node = recorder.combine(
-                parts,
-                result,
-                phase,
-                cost=self.meter.by_phase.get(phase, 0.0) - before,
-                label=node,
-                memo_uid=memo_uid,
-            )
-        if memo_uid is not None:
-            self.memo.store(memo_uid, result)
-            if self.memo_write_cost:
-                self.meter.charge(Phase.MEMO_WRITE, self.memo_write_cost)
-                if recorder is not None:
-                    recorder.memo_write(
-                        combine_node,
-                        result,
-                        cost=self.memo_write_cost,
-                        memo_uid=memo_uid,
-                    )
-        return result
 
     def _memo_visit(
         self, value: Partition, cost: float, node: str = ""
     ) -> None:
-        """Charge (and record) a memoized result moving through the tree —
-        the strawman's per-node visit cost on reuse."""
-        with self.meter.telemetry.span(node or "memo-visit", SpanKind.TASK):
-            self.meter.charge(Phase.MEMO_READ, cost)
-            recorder = self._active_recorder()
-            if recorder is not None:
-                recorder.memo_read(value, cost=cost, label=node)
+        """Plan a memoized result moving through the tree — the strawman's
+        per-node visit cost on reuse; the executor charges and records it."""
+        self.executor.memo_visit(value, cost, node=node)
 
     def _check_initial(self, done: bool) -> None:
         if done and self._ran_initial:

@@ -1,0 +1,158 @@
+"""The per-run plan IR: what a window update *will* compute.
+
+The contraction trees are *planners*: walking their level structure, they
+emit one :class:`PlanStep` per sub-computation a window update needs — Map
+tasks, combiner invocations at tree positions, strawman node visits, and
+per-reducer Reduce passes.  The unified executor
+(:mod:`repro.core.execute`) resolves each step as it is emitted: a step
+carrying a ``memo_uid`` is a **plan-level cache edge** — the plan says
+"this position is memoizable under that id", and only execution decides
+whether the edge is served from cache (a ``memo_read`` node in the
+executed :class:`~repro.core.taskgraph.TaskGraph`) or recomputed
+(``combine`` + ``memo_write`` nodes).
+
+The split keeps two artifacts apart:
+
+* the **plan** (this module) is independent of memo-cache state — two
+  runs over the same window movement emit identical step sequences
+  whether their caches are cold or warm (property-tested per variant);
+* the **executed task graph** (:mod:`repro.core.taskgraph`) records what
+  actually ran, with costs, and therefore *does* depend on cache state.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.metrics import Phase
+
+#: Step kinds a plan is assembled from.
+PLAN_OPS = (
+    "map",      # one Map task over a split (cache edge: the split uid)
+    "combine",  # a combiner invocation at a tree position
+    "visit",    # a positional node visit (the strawman's reuse walk)
+    "reduce",   # the per-key Reduce pass over one reducer's root
+)
+
+_LEVEL_RE = re.compile(r":L(\d+)\.")
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One planned sub-computation.
+
+    ``memo_uid`` (when set) is the plan-level cache edge: the stable
+    content id this step's result is memoizable under.  ``n_inputs``
+    counts the partitions feeding the step; whether any are live (and
+    hence whether a combine degenerates to a pass-through) is an
+    execution-time property, not a plan property.
+    """
+
+    uid: int
+    op: str
+    label: str = ""
+    phase: Phase | None = None
+    n_inputs: int = 0
+    memo_uid: int | None = None
+    reducer: int | None = None
+    cost_scale: float = 1.0
+
+    @property
+    def cache_edge(self) -> bool:
+        """True when this step may be served by the memo cache."""
+        return self.memo_uid is not None
+
+    @property
+    def level(self) -> int | None:
+        """The tree level encoded in the step label (``...:L<n>....``)."""
+        match = _LEVEL_RE.search(self.label)
+        return int(match.group(1)) if match else None
+
+    def signature(self) -> tuple:
+        """The step's identity for plan-equality checks.
+
+        Excludes nothing: every field of a step is a pure function of the
+        planner's structural state and the window movement, never of the
+        memo cache.
+        """
+        return (
+            self.uid,
+            self.op,
+            self.label,
+            self.phase.value if self.phase is not None else None,
+            self.n_inputs,
+            self.memo_uid,
+            self.reducer,
+            self.cost_scale,
+        )
+
+
+@dataclass
+class Plan:
+    """The ordered step sequence of one Slider run."""
+
+    label: str = ""
+    steps: list[PlanStep] = field(default_factory=list)
+
+    def step(
+        self,
+        op: str,
+        label: str = "",
+        phase: Phase | None = None,
+        n_inputs: int = 0,
+        memo_uid: int | None = None,
+        reducer: int | None = None,
+        cost_scale: float = 1.0,
+    ) -> PlanStep:
+        if op not in PLAN_OPS:
+            raise ValueError(f"unknown plan op {op!r}")
+        planned = PlanStep(
+            uid=len(self.steps),
+            op=op,
+            label=label,
+            phase=phase,
+            n_inputs=n_inputs,
+            memo_uid=memo_uid,
+            reducer=reducer,
+            cost_scale=cost_scale,
+        )
+        self.steps.append(planned)
+        return planned
+
+    # -- derived views -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def counts_by_op(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for planned in self.steps:
+            counts[planned.op] = counts.get(planned.op, 0) + 1
+        return counts
+
+    def cache_edge_count(self) -> int:
+        """How many steps carry a plan-level cache edge."""
+        return sum(1 for planned in self.steps if planned.cache_edge)
+
+    def level_structure(self) -> dict[int, int]:
+        """Steps per tree level (steps without a level label are omitted)."""
+        levels: dict[int, int] = {}
+        for planned in self.steps:
+            level = planned.level
+            if level is not None:
+                levels[level] = levels.get(level, 0) + 1
+        return dict(sorted(levels.items()))
+
+    def signature(self) -> tuple:
+        """Order-sensitive identity of the whole plan."""
+        return tuple(planned.signature() for planned in self.steps)
+
+    def shape(self) -> dict:
+        """The golden-test view: counts, cache edges, level structure."""
+        return {
+            "steps": len(self.steps),
+            "ops": self.counts_by_op(),
+            "cache_edges": self.cache_edge_count(),
+            "levels": self.level_structure(),
+        }

@@ -1,0 +1,70 @@
+"""Slider configuration: tree variant, window mode, and time model.
+
+``record_graph`` is deprecated and ignored: since the plan/execute split
+the per-run plan *is* the run — every run reifies into a
+:class:`~repro.core.plan.Plan` plus an executed
+:class:`~repro.core.taskgraph.TaskGraph`, unconditionally.  Passing
+``record_graph=False`` warns and records anyway.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+from repro.slider.window import WindowMode
+
+#: Tree-variant names accepted by SliderConfig.tree.
+TREE_VARIANTS = ("auto", "folding", "randomized", "rotating", "coalescing", "strawman")
+
+#: Time-simulation models accepted by SliderConfig.time_model: "waves"
+#: evaluates the legacy coarse two-wave cost model over the executed plan
+#: (bit-identical to every historical figure); "dag" replays the run's
+#: task graph at sub-computation granularity with topological readiness.
+TIME_MODELS = ("waves", "dag")
+
+
+@dataclass(frozen=True)
+class SliderConfig:
+    """Configuration for a Slider instance."""
+
+    mode: WindowMode = WindowMode.VARIABLE
+    #: Tree variant; "auto" picks the paper's choice for the mode.
+    tree: str = "auto"
+    #: Splits per rotating-tree bucket (the paper's w), FIXED mode only.
+    bucket_size: int = 1
+    #: Enable background pre-processing (§4) for FIXED/APPEND modes.
+    split_mode: bool = False
+    #: Rebuild threshold for the plain folding tree (None = never rebuild).
+    rebuild_factor: int | None = None
+    #: Seed for the randomized folding tree's coins.
+    seed: int = 0
+    #: Garbage-collect memoized state that fell out of the window.
+    auto_gc: bool = True
+    #: How the time simulation replays a run's tasks on the cluster.
+    time_model: str = "waves"
+    #: Deprecated: the per-run plan/graph IR is always recorded now.
+    record_graph: bool = True
+
+    def __post_init__(self) -> None:
+        if self.time_model not in TIME_MODELS:
+            raise ValueError(f"unknown time model {self.time_model!r}")
+        if not self.record_graph:
+            warnings.warn(
+                "SliderConfig(record_graph=False) is deprecated and ignored: "
+                "the plan/graph IR is the run now and is always recorded",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "record_graph", True)
+
+    def tree_variant(self) -> str:
+        if self.tree != "auto":
+            if self.tree not in TREE_VARIANTS:
+                raise ValueError(f"unknown tree variant {self.tree!r}")
+            return self.tree
+        return {
+            WindowMode.APPEND: "coalescing",
+            WindowMode.FIXED: "rotating",
+            WindowMode.VARIABLE: "folding",
+        }[self.mode]

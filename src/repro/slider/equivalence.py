@@ -1,0 +1,228 @@
+"""Per-variant plan-vs-legacy equivalence report.
+
+The plan/execute refactor is gated on observational equivalence: for every
+tree variant, the unified plan/execute path must reproduce the seed
+(inline execute-then-replay) path bit for bit — outputs, per-phase work
+totals, and the legacy ``time_model="waves"`` makespans.  The seed numbers
+were captured once, from the seed code path, into
+``tests/integration/golden_plan_equivalence.json``; this module replays
+the same scenario and diffs against them.
+
+Used two ways:
+
+* ``tests/integration/test_plan_equivalence.py`` asserts the diff is
+  empty (the blocking gate);
+* ``python -m repro.slider.equivalence --out report.json`` emits the full
+  per-variant report, which CI publishes as a workflow artifact alongside
+  the trace export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.common.hashing import stable_hash
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import Split
+from repro.slider.system import Slider, SliderConfig
+from repro.slider.window import WindowMode
+
+#: The five variants and the window mode each is exercised under.
+SCENARIO_VARIANTS = (
+    ("folding", "variable"),
+    ("randomized", "variable"),
+    ("strawman", "variable"),
+    ("rotating", "fixed"),
+    ("coalescing", "append"),
+)
+
+_MODES = {
+    "variable": WindowMode.VARIABLE,
+    "fixed": WindowMode.FIXED,
+    "append": WindowMode.APPEND,
+}
+
+
+def _scenario_job() -> MapReduceJob:
+    return MapReduceJob(
+        name="equivalence-counts",
+        map_fn=lambda record: [(record, 1)],
+        combiner=SumCombiner(),
+        num_reducers=2,
+    )
+
+
+def _scenario_split(i: int, spread: int = 12, n: int = 20) -> Split:
+    return Split.from_records(
+        [f"w{(i * 7 + j) % spread}" for j in range(n)], label=f"s{i}"
+    )
+
+
+def _outputs_fingerprint(outputs: dict[Any, Any]) -> str:
+    items = sorted((repr(k), repr(v)) for k, v in outputs.items())
+    return f"{stable_hash(tuple(items), salt='equiv-out'):#x}"
+
+
+def _run_record(result) -> dict[str, Any]:
+    record = {
+        "label": result.report.label,
+        "work": result.report.work,
+        "time": result.report.time,
+        "space": result.report.space,
+        "breakdown": dict(sorted(result.report.breakdown.items())),
+        "outputs": _outputs_fingerprint(result.outputs),
+        "changed_keys": len(result.changed_keys),
+        "removed_keys": len(result.removed_keys),
+    }
+    if result.graph is not None:
+        record["graph_nodes"] = len(result.graph)
+        record["graph_kinds"] = dict(
+            sorted(result.graph.counts_by_kind().items())
+        )
+    return record
+
+
+def variant_scenario(variant: str, mode_name: str) -> list[dict[str, Any]]:
+    """Run the fixed scenario for one variant; returns per-run records.
+
+    The scenario pins everything the simulation depends on (cluster shape,
+    straggler fraction, split contents), so every field in the records is
+    a deterministic function of the code path that produced it.
+    """
+    mode = _MODES[mode_name]
+    cluster = Cluster(
+        ClusterConfig(num_machines=8, straggler_fraction=0.0)
+    )
+    slider = Slider(
+        _scenario_job(),
+        mode,
+        config=SliderConfig(mode=mode, tree=variant),
+        cluster=cluster,
+    )
+    removed = 0 if mode is WindowMode.APPEND else 2
+    records = [
+        _run_record(slider.initial_run([_scenario_split(i) for i in range(6)]))
+    ]
+    records.append(
+        _run_record(
+            slider.advance([_scenario_split(10), _scenario_split(11)], removed)
+        )
+    )
+    single = 0 if mode is WindowMode.APPEND else 1
+    records.append(
+        _run_record(slider.advance([_scenario_split(12)], single))
+    )
+    if mode is not WindowMode.FIXED:
+        records.append(_run_record(slider.advance([], 0)))
+    slider.verify_outputs()
+    return records
+
+
+def collect() -> dict[str, list[dict[str, Any]]]:
+    """Run the scenario for all five variants."""
+    return {
+        variant: variant_scenario(variant, mode_name)
+        for variant, mode_name in SCENARIO_VARIANTS
+    }
+
+
+def diff_against(
+    golden: dict[str, list[dict[str, Any]]],
+    current: dict[str, list[dict[str, Any]]],
+) -> list[str]:
+    """Human-readable mismatches between golden and current records."""
+    problems: list[str] = []
+    for variant, golden_runs in golden.items():
+        runs = current.get(variant)
+        if runs is None:
+            problems.append(f"{variant}: missing from current report")
+            continue
+        if len(runs) != len(golden_runs):
+            problems.append(
+                f"{variant}: {len(runs)} runs vs {len(golden_runs)} golden"
+            )
+            continue
+        for expected, got in zip(golden_runs, runs):
+            label = expected.get("label", "?")
+            for field in sorted(set(expected) | set(got)):
+                if expected.get(field) != got.get(field):
+                    problems.append(
+                        f"{variant}/{label}.{field}: "
+                        f"golden={expected.get(field)!r} got={got.get(field)!r}"
+                    )
+    return problems
+
+
+def default_golden_path() -> Path:
+    return (
+        Path(__file__).resolve().parents[3]
+        / "tests"
+        / "integration"
+        / "golden_plan_equivalence.json"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.slider.equivalence",
+        description="Per-variant plan-vs-legacy equivalence report.",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--golden",
+        type=Path,
+        default=None,
+        help="golden records to diff against (default: the checked-in seed "
+        "records, when present)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite the golden file from the current code path",
+    )
+    args = parser.parse_args(argv)
+
+    current = collect()
+    golden_path = args.golden or default_golden_path()
+    report: dict[str, Any] = {"scenario": "plan-vs-legacy", "runs": current}
+
+    if args.update_golden:
+        golden_path.write_text(json.dumps(current, indent=2, sort_keys=True))
+        print(f"golden records written to {golden_path}")
+        problems: list[str] = []
+    elif golden_path.exists():
+        golden = json.loads(golden_path.read_text())
+        problems = diff_against(golden, current)
+        report["golden"] = str(golden_path)
+        report["equivalent"] = not problems
+        report["mismatches"] = problems
+    else:
+        problems = []
+        report["equivalent"] = None
+        report["mismatches"] = []
+        print(f"note: no golden records at {golden_path}; reporting only")
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"report written to {args.out}")
+
+    for problem in problems:
+        print(f"MISMATCH {problem}")
+    ok = not problems
+    total = sum(len(runs) for runs in current.values())
+    print(
+        f"{len(current)} variants, {total} runs: "
+        + ("equivalent" if ok else f"{len(problems)} mismatches")
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

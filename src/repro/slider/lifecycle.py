@@ -1,0 +1,159 @@
+"""Cross-run lifecycle: failure healing, garbage collection, verification.
+
+The :class:`LifecycleManager` owns everything that happens *between* a
+Slider's runs: reviving chaos-crashed machines, reacting to worker
+failures (§6), dropping memoized state the window can no longer use,
+measuring retained space (Figure 13), and checking the core invariant —
+incremental outputs always equal a from-scratch batch run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only facade reference
+    from repro.slider.system import Slider
+
+
+class LifecycleManager:
+    """Maintains a Slider's cross-run state (storage, failures, GC)."""
+
+    def __init__(self, engine: "Slider") -> None:
+        self.engine = engine
+
+    # -- failure handling ----------------------------------------------------
+
+    def heal_chaos(self) -> None:
+        """Revive chaos-crashed machines before the next run when the
+        schedule heals (mirrors FaultInjector's ``heal``)."""
+        engine = self.engine
+        if not engine.chaos_downed:
+            return
+        if engine.chaos is None or getattr(engine.chaos, "heal", True):
+            for machine_id in engine.chaos_downed:
+                if not engine.cluster.machine(machine_id).alive:
+                    engine.cluster.revive(machine_id)
+        engine.chaos_downed = []
+
+    def on_chaos_crash(self, machine_id: int, when: float) -> None:
+        """The machine physically died: its RAM (cache shard) is gone and
+        the trees' process-local memo views can no longer be trusted."""
+        engine = self.engine
+        engine.chaos_downed.append(machine_id)
+        if engine.cache is not None:
+            engine.cache.on_machine_failure(machine_id)
+        for tree in engine.trees:
+            tree.memo.entries.clear()
+
+    def on_chaos_detect(self, machine_id: int, when: float) -> None:
+        """The master noticed the crash: re-replicate what lost a copy."""
+        engine = self.engine
+        if engine.blocks is not None:
+            engine.blocks.on_machine_failure(machine_id)
+        if engine.cache is not None:
+            engine.cache.repair()
+
+    def on_machine_failure(self, machine_id: int) -> int:
+        """React to a worker crash (§6).
+
+        The crashed machine's share of the in-memory distributed cache is
+        lost; the block store re-replicates its blocks; and the trees'
+        process-local memo views are invalidated, so subsequent lookups go
+        through the shim I/O layer (replicas when the memory copy is
+        gone).  Returns the number of in-memory cache objects lost.
+        """
+        engine = self.engine
+        lost = 0
+        if engine.cache is not None:
+            lost = engine.cache.on_machine_failure(machine_id)
+        if engine.blocks is not None:
+            engine.blocks.on_machine_failure(machine_id)
+        for tree in engine.trees:
+            tree.memo.entries.clear()
+        return lost
+
+    # -- garbage collection and space ----------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Drop memoized state that the current window can no longer use."""
+        engine = self.engine
+        live_split_uids = {split.uid for split in engine.window}
+        dead = [uid for uid in engine.map_memo if uid not in live_split_uids]
+        for uid in dead:
+            del engine.map_memo[uid]
+            if engine.blocks is not None:
+                engine.blocks.drop_split(uid)
+        dropped = len(dead)
+        for tree in engine.trees:
+            live = getattr(tree, "live_memo_uids", None)
+            if live is not None:
+                dropped += tree.memo.retain_only(live())
+        if engine.gc is not None and engine.cache is not None:
+            # The distributed cache mirrors tree memo tables; retain union.
+            live_uids: set[int] = set()
+            for tree in engine.trees:
+                live = getattr(tree, "live_memo_uids", None)
+                if live is not None:
+                    live_uids |= live()
+                else:
+                    live_uids |= set(tree.memo.entries)
+            engine.gc.collect(live_uids)
+        return dropped
+
+    def space(self) -> float:
+        """Memoized state retained across runs (Figure 13's space metric)."""
+        engine = self.engine
+        map_space = sum(
+            sum(len(p) for p in partitions)
+            for partitions in engine.map_memo.values()
+        )
+        tree_space = sum(tree.memo.space() for tree in engine.trees)
+        cache_space = 0.0
+        for tree in engine.trees:
+            cache = getattr(tree, "_cache", None)
+            if isinstance(cache, dict):
+                cache_space += sum(len(p) for p in cache.values())
+        return float(map_space) + tree_space + cache_space
+
+    # -- output verification --------------------------------------------------
+
+    def current_outputs(self) -> dict[Any, Any]:
+        """Re-derive outputs from current roots without charging work."""
+        engine = self.engine
+        outputs: dict[Any, Any] = {}
+        for tree in engine.trees:
+            for key, value in tree.root().items():
+                outputs[key] = engine.job.reduce_fn(key, value)
+        return outputs
+
+    def verify_outputs(self, outputs: dict[Any, Any] | None = None) -> int:
+        """Invariant check: outputs equal a from-scratch batch run.
+
+        Chaos only perturbs the *time* simulation and the storage layers;
+        the incremental computation must still produce exactly what a
+        fault-free batch execution over the current window produces.
+        Raises :class:`~repro.common.errors.ReproError` on any
+        divergence; returns the number of keys checked.
+        """
+        from repro.mapreduce.runtime import BatchRuntime
+
+        engine = self.engine
+        expected = BatchRuntime(engine.job).run(list(engine.window)).outputs
+        actual = outputs if outputs is not None else self.current_outputs()
+        if actual != expected:
+            missing = sorted(
+                str(k) for k in expected.keys() - actual.keys()
+            )[:5]
+            extra = sorted(str(k) for k in actual.keys() - expected.keys())[:5]
+            wrong = sorted(
+                str(k)
+                for k in expected.keys() & actual.keys()
+                if expected[k] != actual[k]
+            )[:5]
+            raise ReproError(
+                "incremental outputs diverged from the batch run: "
+                f"missing={missing} extra={extra} wrong={wrong}"
+            )
+        return len(expected)

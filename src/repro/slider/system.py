@@ -1,102 +1,60 @@
-"""The Slider engine.
+"""The Slider engine facade.
 
-Runs a MapReduceJob over a sliding window incrementally:
+Runs a MapReduceJob over a sliding window incrementally.  Since the
+plan/execute split, this module is a thin orchestrator over four
+collaborators, one per concern:
 
-1. new splits are processed by Map tasks (memoized by split content id —
-   splits still in the window never re-run their Map function);
-2. each reducer's contraction tree absorbs the per-reducer deltas and
-   propagates the change to its root;
-3. Reduce runs on every root to produce the final outputs;
-4. optionally, the same task graph is replayed on the simulated cluster to
-   produce an end-to-end *time* estimate alongside the exact *work* count.
+* :class:`~repro.slider.planning.RunPlanner` — assembles each run's plan
+  (map steps, contraction-tree steps, reduce steps) and drives it;
+* :class:`~repro.core.execute.PlanExecutor` — the single execution
+  substrate: resolves every planned step (memo lookup, combine, charge,
+  record) and measures what the time models consume;
+* :class:`~repro.slider.execution.TimeSimulator` — prices the executed
+  run on the simulated cluster (``"waves"`` cost model or ``"dag"``
+  replay, calm or under chaos);
+* :class:`~repro.slider.lifecycle.LifecycleManager` — cross-run state:
+  failure healing, garbage collection, space, output verification.
+
+Each run reifies into a :class:`~repro.core.plan.Plan` (memo-independent
+description of the window update) plus an executed
+:class:`~repro.core.taskgraph.TaskGraph` (what actually ran, with
+costs), both returned on the :class:`SliderResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
 from repro.cluster.cache import CacheConfig, DistributedMemoCache, GarbageCollector
 from repro.cluster.chaos import ChaosPlan, ChaosSchedule
-from repro.cluster.executor import (
-    ExecutorConfig,
-    ExecutorHooks,
-    execute_dag,
-    execute_two_waves,
-)
+from repro.cluster.executor import ExecutorConfig
 from repro.cluster.machine import Cluster
-from repro.cluster.scheduler import (
-    HybridScheduler,
-    Scheduler,
-    SimTask,
-    simulate_two_waves,
-)
-from repro.common.errors import CombinerContractError, ReproError, WindowError
-from repro.common.hashing import stable_hash
+from repro.cluster.scheduler import HybridScheduler, Scheduler
+from repro.common.errors import WindowError
 from repro.core.base import ContractionTree
-from repro.core.coalescing import CoalescingTree
-from repro.core.folding import FoldingTree
-from repro.core.memo import MemoTable
+from repro.core.execute import PlanExecutor, RunExecution
 from repro.core.partition import Partition
-from repro.core.randomized import RandomizedFoldingTree
-from repro.core.rotating import RotatingTree
-from repro.core.strawman import StrawmanTree
-from repro.core.taskgraph import GraphRecorder, TaskGraph, TaskNode
+from repro.core.plan import Plan
+from repro.core.taskgraph import TaskGraph
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.shuffle import HashPartitioner, run_map_task
+from repro.mapreduce.shuffle import HashPartitioner
 from repro.mapreduce.types import Split, SplitWindow
 from repro.metrics import Phase, RunReport, WorkMeter
+from repro.slider.config import TIME_MODELS, TREE_VARIANTS, SliderConfig
+from repro.slider.execution import TimeSimulator
+from repro.slider.lifecycle import LifecycleManager
+from repro.slider.planning import RunPlanner
 from repro.slider.window import WindowDelta, WindowMode
 from repro.telemetry import SpanKind, Telemetry
 
-#: Tree-variant names accepted by SliderConfig.tree.
-TREE_VARIANTS = ("auto", "folding", "randomized", "rotating", "coalescing", "strawman")
-
-#: Time-simulation models accepted by SliderConfig.time_model: "waves"
-#: replays the legacy coarse two-wave task list (bit-identical to every
-#: historical figure); "dag" replays the recorded task graph at
-#: sub-computation granularity with topological readiness.
-TIME_MODELS = ("waves", "dag")
-
-
-@dataclass(frozen=True)
-class SliderConfig:
-    """Configuration for a Slider instance."""
-
-    mode: WindowMode = WindowMode.VARIABLE
-    #: Tree variant; "auto" picks the paper's choice for the mode.
-    tree: str = "auto"
-    #: Splits per rotating-tree bucket (the paper's w), FIXED mode only.
-    bucket_size: int = 1
-    #: Enable background pre-processing (§4) for FIXED/APPEND modes.
-    split_mode: bool = False
-    #: Rebuild threshold for the plain folding tree (None = never rebuild).
-    rebuild_factor: int | None = None
-    #: Seed for the randomized folding tree's coins.
-    seed: int = 0
-    #: Garbage-collect memoized state that fell out of the window.
-    auto_gc: bool = True
-    #: How the time simulation replays a run's tasks on the cluster.
-    time_model: str = "waves"
-    #: Record the per-run task-graph IR (required by time_model="dag").
-    record_graph: bool = True
-
-    def __post_init__(self) -> None:
-        if self.time_model not in TIME_MODELS:
-            raise ValueError(f"unknown time model {self.time_model!r}")
-        if self.time_model == "dag" and not self.record_graph:
-            raise ValueError('time_model="dag" requires record_graph=True')
-
-    def tree_variant(self) -> str:
-        if self.tree != "auto":
-            if self.tree not in TREE_VARIANTS:
-                raise ValueError(f"unknown tree variant {self.tree!r}")
-            return self.tree
-        return {
-            WindowMode.APPEND: "coalescing",
-            WindowMode.FIXED: "rotating",
-            WindowMode.VARIABLE: "folding",
-        }[self.mode]
+__all__ = [
+    "Slider",
+    "SliderConfig",
+    "SliderResult",
+    "TIME_MODELS",
+    "TREE_VARIANTS",
+]
 
 
 @dataclass
@@ -116,30 +74,10 @@ class SliderResult:
     new_map_tasks: int = 0
     changed_keys: frozenset = frozenset()
     removed_keys: frozenset = frozenset()
-    #: The run's task-graph IR (None when recording is disabled).
+    #: The run's executed task-graph IR (always recorded).
     graph: TaskGraph | None = None
-
-
-@dataclass
-class _RunSnapshot:
-    """Meter/phase snapshot used to compute per-run deltas."""
-
-    totals: dict[Phase, float] = field(default_factory=dict)
-
-    @staticmethod
-    def of(meter: WorkMeter) -> "_RunSnapshot":
-        return _RunSnapshot(dict(meter.by_phase))
-
-    def delta(self, meter: WorkMeter) -> dict[Phase, float]:
-        # Sort the phases: set iteration over enum members follows object
-        # hashes, which vary across processes, and the float summation
-        # order downstream must not.
-        return {
-            phase: meter.by_phase.get(phase, 0.0) - self.totals.get(phase, 0.0)
-            for phase in sorted(
-                set(meter.by_phase) | set(self.totals), key=lambda p: p.value
-            )
-        }
+    #: The run's plan: the memo-independent step sequence that was executed.
+    plan: Plan | None = None
 
 
 class Slider:
@@ -170,10 +108,10 @@ class Slider:
         )
         self.meter = WorkMeter(telemetry=self.telemetry)
         self.window = SplitWindow()
-        #: Per-run task-graph recorder (the IR every run reifies into).
-        self.recorder: GraphRecorder | None = (
-            GraphRecorder() if self.config.record_graph else None
-        )
+        #: The unified plan executor: every sub-computation of every run —
+        #: the engine's map/reduce passes and all tree combines — resolves
+        #: here, and each run reifies into its plan/graph pair.
+        self.executor = PlanExecutor(meter=self.meter)
         self.cluster = cluster
         self.scheduler = scheduler or HybridScheduler()
         self.cache: DistributedMemoCache | None = None
@@ -193,73 +131,23 @@ class Slider:
         self.executor_config = executor_config
         #: Machines chaos crashed during the latest simulated execution;
         #: healed at the start of the next run when the schedule says so.
-        self._chaos_downed: list[int] = []
-        self._last_recovery: dict[str, float] = {}
+        self.chaos_downed: list[int] = []
+        self.last_recovery: dict[str, float] = {}
         #: split uid -> per-reducer map-output partitions.
-        self._map_memo: dict[int, list[Partition]] = {}
-        self.trees: list[ContractionTree] = [
-            self._make_tree() for _ in range(job.num_reducers)
-        ]
+        self.map_memo: dict[int, list[Partition]] = {}
         #: per-reducer memoized Reduce outputs: key -> (root value, output).
-        self._reduce_memo: list[dict[Any, tuple[Any, Any]]] = [
+        self.reduce_memo: list[dict[Any, tuple[Any, Any]]] = [
             {} for _ in range(job.num_reducers)
         ]
-        self._run_index = 0
+        self.planner = RunPlanner(self)
+        self.timing = TimeSimulator(self)
+        self.lifecycle = LifecycleManager(self)
+        self.trees: list[ContractionTree] = self.planner.make_trees()
+        self.run_index = 0
         self._ran_initial = False
-        #: Per-reducer work measured during the latest run (feeds the time
-        #: simulation's reduce-task imbalance) and the latest output delta.
-        self._last_tree_costs: list[float] = []
+        #: The latest run's output delta.
         self._last_changed_keys: frozenset = frozenset()
         self._last_removed_keys: frozenset = frozenset()
-
-    # -- tree construction ---------------------------------------------------
-
-    def _make_tree(self) -> ContractionTree:
-        memo = MemoTable(backing=self.cache, telemetry=self.telemetry)
-        common = dict(
-            meter=self.meter,
-            memo=memo,
-            combine_cost_factor=self.job.costs.combine_cost_factor,
-            memo_read_cost=self.job.costs.memo_read_cost_per_key,
-            memo_write_cost=self.job.costs.memo_write_cost_per_key,
-        )
-        variant = self.config.tree_variant()
-        try:
-            return self._construct_tree(variant, common)
-        except CombinerContractError as exc:
-            raise CombinerContractError(
-                f"job {self.job.name!r}: {exc} "
-                f"(tree variant {variant!r})"
-            ) from exc
-
-    def _construct_tree(self, variant: str, common: dict) -> ContractionTree:
-        if variant == "folding":
-            tree: ContractionTree = FoldingTree(
-                self.job.combiner,
-                rebuild_factor=self.config.rebuild_factor,
-                **common,
-            )
-        elif variant == "randomized":
-            tree = RandomizedFoldingTree(
-                self.job.combiner, seed=self.config.seed, **common
-            )
-        elif variant == "rotating":
-            tree = RotatingTree(
-                self.job.combiner,
-                bucket_size=self.config.bucket_size,
-                split_mode=self.config.split_mode,
-                **common,
-            )
-        elif variant == "coalescing":
-            tree = CoalescingTree(
-                self.job.combiner, split_mode=self.config.split_mode, **common
-            )
-        elif variant == "strawman":
-            tree = StrawmanTree(self.job.combiner, **common)
-        else:
-            raise ValueError(f"unknown tree variant {variant!r}")
-        tree.recorder = self.recorder
-        return tree
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -268,26 +156,25 @@ class Slider:
         if self._ran_initial:
             raise WindowError("initial_run may only be called once")
         self._ran_initial = True
-        self._heal_chaos()
-        snapshot = _RunSnapshot.of(self.meter)
+        self.lifecycle.heal_chaos()
+        phase_before = dict(self.telemetry.by_phase)
         with self.telemetry.span(
-            "initial", SpanKind.WINDOW_UPDATE, run_index=self._run_index
+            "initial", SpanKind.WINDOW_UPDATE, run_index=self.run_index
         ):
-            if self.recorder is not None:
-                self.recorder.begin_run("initial")
+            self.executor.begin_run("initial")
             with self.telemetry.span("map", SpanKind.PHASE):
-                new_map_costs = self._run_maps(splits)
+                self.planner.run_maps(splits)
             self.window.append(list(splits))
 
-            per_reducer = self._reducer_leaves(splits)
+            per_reducer = self.planner.reducer_leaves(splits)
             with self.telemetry.span("contraction", SpanKind.PHASE):
-                roots = self._advance_trees(
+                roots = self.planner.advance_trees(
                     lambda r, tree: tree.initial_run(per_reducer[r])
                 )
             with self.telemetry.span("reduce", SpanKind.PHASE):
-                outputs = self._reduce_all(roots)
+                outputs = self._reduce(roots)
             return self._finish_run(
-                snapshot, outputs, new_map_costs, reused=0, label="initial"
+                phase_before, outputs, reused=0, label="initial"
             )
 
     def advance(self, added: Sequence[Split], removed: int) -> SliderResult:
@@ -296,36 +183,33 @@ class Slider:
             raise WindowError("advance called before initial_run")
         WindowDelta(len(added), removed).validate(self.mode, len(self.window))
 
-        self._heal_chaos()
-        snapshot = _RunSnapshot.of(self.meter)
+        self.lifecycle.heal_chaos()
+        phase_before = dict(self.telemetry.by_phase)
         with self.telemetry.span(
-            f"incremental-{self._run_index}",
+            f"incremental-{self.run_index}",
             SpanKind.WINDOW_UPDATE,
-            run_index=self._run_index,
+            run_index=self.run_index,
             added=len(added),
             removed=removed,
         ):
-            if self.recorder is not None:
-                self.recorder.begin_run(f"incremental-{self._run_index}")
-            reused = sum(1 for s in added if s.uid in self._map_memo)
+            self.executor.begin_run(f"incremental-{self.run_index}")
             with self.telemetry.span("map", SpanKind.PHASE):
-                new_map_costs = self._run_maps(added)
+                reused = self.planner.run_maps(added)
             self.window.drop_front(removed)
             self.window.append(list(added))
 
-            per_reducer = self._reducer_leaves(added)
+            per_reducer = self.planner.reducer_leaves(added)
             with self.telemetry.span("contraction", SpanKind.PHASE):
-                roots = self._advance_trees(
+                roots = self.planner.advance_trees(
                     lambda r, tree: tree.advance(per_reducer[r], removed)
                 )
             with self.telemetry.span("reduce", SpanKind.PHASE):
-                outputs = self._reduce_all(roots)
+                outputs = self._reduce(roots)
             result = self._finish_run(
-                snapshot,
+                phase_before,
                 outputs,
-                new_map_costs,
                 reused=reused,
-                label=f"incremental-{self._run_index}",
+                label=f"incremental-{self.run_index}",
             )
             if self.config.auto_gc:
                 self.collect_garbage()
@@ -345,434 +229,69 @@ class Slider:
                     preprocess()
         return self.meter.by_phase.get(Phase.BACKGROUND, 0.0) - before
 
-    # -- internals ---------------------------------------------------------
+    # -- run assembly ---------------------------------------------------------
 
-    def _run_maps(  # analysis: charge-in-caller-span (map phase span)
-        self, splits: Sequence[Split]
-    ) -> dict[int, float]:
-        """Run (or reuse) Map tasks; returns per-split charged cost."""
-        if self.blocks is not None:
-            self.blocks.store_all(splits)
-        recorder = self.recorder
-        costs: dict[int, float] = {}
-        for split in splits:
-            if split.uid in self._map_memo:
-                read_cost = self.job.costs.memo_read_cost_per_key * max(
-                    1, len(split)
-                )
-                self.meter.charge(Phase.MEMO_READ, read_cost)
-                if recorder is not None:
-                    recorder.map_reuse(
-                        split.uid, self._map_memo[split.uid], cost=read_cost
-                    )
-                costs[split.uid] = 0.0
-                continue
-            before = self.meter.total()
-            map_before = self.meter.by_phase.get(Phase.MAP, 0.0)
-            shuffle_before = self.meter.by_phase.get(Phase.SHUFFLE, 0.0)
-            self._map_memo[split.uid] = run_map_task(
-                self.job,
-                split.records,
-                self.partitioner,
-                self.meter,
-                label=f"map:{split.uid:#x}",
-            )
-            costs[split.uid] = self.meter.total() - before
-            if recorder is not None:
-                recorder.map_task(
-                    split.uid,
-                    self._map_memo[split.uid],
-                    map_cost=self.meter.by_phase.get(Phase.MAP, 0.0)
-                    - map_before,
-                    shuffle_cost=self.meter.by_phase.get(Phase.SHUFFLE, 0.0)
-                    - shuffle_before,
-                )
-        return costs
-
-    def _advance_trees(self, step) -> list[Partition]:
-        """Run ``step`` on every tree, recording per-reducer work (which the
-        time simulation uses for realistic reduce-task imbalance)."""
-        roots = []
-        self._last_tree_costs = []
-        for reducer_index, tree in enumerate(self.trees):
-            before = self.meter.total()
-            with self.telemetry.span(
-                f"reducer:{reducer_index}", SpanKind.TASK, reducer=reducer_index
-            ):
-                if self.recorder is not None:
-                    with self.recorder.reducer_context(reducer_index):
-                        roots.append(step(reducer_index, tree))
-                else:
-                    roots.append(step(reducer_index, tree))
-            self._last_tree_costs.append(self.meter.total() - before)
-        return roots
-
-    def _reducer_leaves(self, splits: Sequence[Split]) -> list[list[Partition]]:
-        per_reducer: list[list[Partition]] = [
-            [] for _ in range(self.job.num_reducers)
-        ]
-        for split in splits:
-            outputs = self._map_memo[split.uid]
-            for reducer_index, partition in enumerate(outputs):
-                per_reducer[reducer_index].append(partition)
-        return per_reducer
-
-    def _reduce_all(  # analysis: charge-in-caller-span (reduce phase span)
-        self, roots: list[Partition]
-    ) -> dict[Any, Any]:
-        """Apply Reduce per key, reusing outputs for unchanged root values.
-
-        Change propagation is per-key (Algorithm 1): a key whose combined
-        value did not change between runs keeps its memoized Reduce output
-        at only a memo-read cost; changed and new keys pay the full Reduce
-        cost.
-        """
-        outputs: dict[Any, Any] = {}
-        read_cost = self.job.costs.memo_read_cost_per_key
-        reduce_cost = self.job.costs.reduce_cost_per_key
-        recorder = self.recorder
-        changed_keys: set[Any] = set()
-        removed_keys: set[Any] = set()
-        for reducer_index, root in enumerate(roots):
-            reduce_start = self.meter.total()
-            memo = self._reduce_memo[reducer_index]
-            fresh: dict[Any, tuple[Any, Any]] = {}
-            changed = 0
-            unchanged = 0
-            for key, value in root.items():
-                cached = memo.get(key)
-                if cached is not None and cached[0] == value:
-                    output = cached[1]
-                    unchanged += 1
-                else:
-                    output = self.job.reduce_fn(key, value)
-                    changed += 1
-                    changed_keys.add(key)
-                    if recorder is not None:
-                        with recorder.reducer_context(reducer_index):
-                            recorder.reduce_key(root, key, cost=reduce_cost)
-                fresh[key] = (value, output)
-                outputs[key] = output
-            removed_keys.update(key for key in memo if key not in fresh)
-            self._reduce_memo[reducer_index] = fresh
-            if changed:
-                self.meter.charge(Phase.REDUCE, changed * reduce_cost)
-            if unchanged:
-                self.meter.charge(Phase.MEMO_READ, unchanged * read_cost)
-                if recorder is not None:
-                    with recorder.reducer_context(reducer_index):
-                        recorder.reduce_reuse(
-                            root, unchanged, cost=unchanged * read_cost
-                        )
-            if reducer_index < len(self._last_tree_costs):
-                self._last_tree_costs[reducer_index] += (
-                    self.meter.total() - reduce_start
-                )
-        self._last_changed_keys = frozenset(changed_keys)
-        self._last_removed_keys = frozenset(removed_keys)
+    def _reduce(self, roots: list[Partition]) -> dict[Any, Any]:
+        outputs, changed, removed = self.planner.reduce_all(roots)
+        self._last_changed_keys = changed
+        self._last_removed_keys = removed
         return outputs
+
+    def _phase_delta(
+        self, before: dict[Phase, float]
+    ) -> dict[Phase, float]:
+        """Per-run work delta, read directly off the telemetry backbone.
+
+        Sorts the phases: set iteration over enum members follows object
+        hashes, which vary across processes, and the float summation
+        order downstream must not.
+        """
+        after = self.telemetry.by_phase
+        return {
+            phase: after.get(phase, 0.0) - before.get(phase, 0.0)
+            for phase in sorted(set(after) | set(before), key=lambda p: p.value)
+        }
 
     def _finish_run(
         self,
-        snapshot: _RunSnapshot,
+        phase_before: dict[Phase, float],
         outputs: dict[Any, Any],
-        new_map_costs: dict[int, float],
         reused: int,
         label: str,
     ) -> SliderResult:
-        phase_delta = snapshot.delta(self.meter)
-        graph = self.recorder.end_run() if self.recorder is not None else None
+        phase_delta = self._phase_delta(phase_before)
+        run: RunExecution = self.executor.end_run()
         work = sum(
             amount
             for phase, amount in phase_delta.items()
             if phase is not Phase.BACKGROUND
         )
         with self.telemetry.span("execute", SpanKind.PHASE, label=label):
-            time = self._simulate_time(phase_delta, new_map_costs, graph)
+            time = self.timing.simulate(phase_delta, run)
         report = RunReport(
             label=label,
             work=work,
             time=time,
             space=self.space(),
             breakdown={phase.value: amount for phase, amount in phase_delta.items()},
-            recovery=dict(self._last_recovery),
+            recovery=dict(self.last_recovery),
         )
-        self._last_recovery = {}
+        self.last_recovery = {}
         result = SliderResult(
             outputs=outputs,
             report=report,
-            run_index=self._run_index,
+            run_index=self.run_index,
             reused_map_tasks=reused,
-            new_map_tasks=sum(1 for cost in new_map_costs.values() if cost > 0),
+            new_map_tasks=sum(1 for cost in run.map_costs.values() if cost > 0),
             changed_keys=self._last_changed_keys,
             removed_keys=self._last_removed_keys,
-            graph=graph,
+            graph=run.graph,
+            plan=run.plan,
         )
-        self._run_index += 1
+        self.run_index += 1
         return result
 
-    def _simulate_time(
-        self,
-        phase_delta: dict[Phase, float],
-        new_map_costs: dict[int, float],
-        graph: TaskGraph | None = None,
-    ) -> float:
-        """Replay this run's tasks on the cluster; fall back to work-as-time."""
-        foreground = sum(
-            amount
-            for phase, amount in phase_delta.items()
-            if phase is not Phase.BACKGROUND
-        )
-        if self.cluster is None:
-            return foreground
-        if self.config.time_model == "dag":
-            return self._replay_dag(graph)
-
-        map_tasks = []
-        for uid, cost in new_map_costs.items():
-            if cost <= 0:
-                continue
-            if self.blocks is not None:
-                preferred = self.blocks.preferred_machine(uid)
-            else:
-                preferred = stable_hash(uid, salt="splitloc") % len(self.cluster)
-            map_tasks.append(
-                SimTask(
-                    label=f"map:{uid:#x}",
-                    cost=cost,
-                    preferred_machine=preferred,
-                    fetch_bytes=cost,
-                    kind="map",
-                )
-            )
-        map_total = sum(t.cost for t in map_tasks)
-        reduce_side = foreground - map_total
-        reduce_tasks = []
-        # Per-reducer costs measured during the run; any residue (shuffle,
-        # map-side memo reads) spreads evenly.
-        tree_costs = self._last_tree_costs
-        if len(tree_costs) != len(self.trees):
-            tree_costs = [0.0] * len(self.trees)
-        residue = max(0.0, reduce_side - sum(tree_costs)) / max(
-            1, len(self.trees)
-        )
-        for reducer_index, tree in enumerate(self.trees):
-            # A reduce task migrated away from its memoized state must pull
-            # that state (tree node values) over the network.
-            state_size = tree.memo.space()
-            cache = getattr(tree, "_cache", None)
-            if isinstance(cache, dict):
-                state_size += sum(
-                    len(p) for p in cache.values() if isinstance(p, Partition)
-                )
-            reduce_tasks.append(
-                SimTask(
-                    label=f"reduce:{reducer_index}",
-                    cost=max(tree_costs[reducer_index] + residue, 0.0),
-                    preferred_machine=stable_hash(
-                        (self.job.name, reducer_index), salt="memoloc"
-                    )
-                    % len(self.cluster),
-                    fetch_bytes=state_size,
-                    kind="reduce",
-                )
-            )
-        schedule = None
-        if self.chaos is not None:
-            schedule = self.chaos.for_run(self._run_index)
-            if schedule is not None and schedule.is_empty():
-                schedule = None
-        if schedule is None and self.executor_config is None:
-            # Calm run on the default executor knobs: the plain wrapper,
-            # bit-identical to the historical greedy figures.
-            makespan, assignments = simulate_two_waves(
-                map_tasks, reduce_tasks, self.cluster, self.scheduler
-            )
-            self._record_attempts(assignments)
-            return makespan
-        return self._execute_under_chaos(map_tasks, reduce_tasks, schedule)
-
-    def _record_attempts(self, assignments) -> None:
-        """Mirror a calm wave's task placements into the span tree, on each
-        machine's trace lane with simulated-clock timestamps."""
-        for a in assignments:
-            self.telemetry.record_span(
-                a.task.label,
-                SpanKind.ATTEMPT,
-                start=a.start,
-                end=a.finish,
-                thread=f"m{a.machine_id}",
-                task_kind=a.task.kind,
-                fetched=a.fetched,
-            )
-
-    def _replay_dag(self, graph: TaskGraph | None) -> float:
-        """Replay the run's task graph at sub-computation granularity.
-
-        Every recorded node becomes one schedulable task with its own
-        locality preference; dependency edges gate readiness, so the
-        makespan tracks the graph's critical path instead of the coarse
-        map-barrier-then-per-reducer-sum of the two-wave replay.
-        """
-        if graph is None:
-            raise ReproError(
-                'time_model="dag" needs a recorded task graph for the run'
-            )
-        tasks, deps = self._dag_tasks(graph)
-        schedule = None
-        if self.chaos is not None:
-            schedule = self.chaos.for_run(self._run_index)
-            if schedule is not None and schedule.is_empty():
-                schedule = None
-        if schedule is None:
-            report = execute_dag(
-                tasks,
-                deps,
-                self.cluster,
-                self.scheduler,
-                config=self.executor_config,
-                telemetry=self.telemetry,
-            )
-            return report.makespan
-        repair_bytes_before = (
-            self.cache.stats.repair_bytes if self.cache is not None else 0.0
-        )
-        block_traffic_before = (
-            self.blocks.repair_traffic if self.blocks is not None else 0.0
-        )
-        hooks = ExecutorHooks(
-            on_crash=self._on_chaos_crash, on_detect=self._on_chaos_detect
-        )
-        report = execute_dag(
-            tasks,
-            deps,
-            self.cluster,
-            self.scheduler,
-            config=self.executor_config,
-            chaos=schedule,
-            hooks=hooks,
-            telemetry=self.telemetry,
-        )
-        recovery = report.stats.as_dict()
-        recovery["map_finish"] = report.map_finish
-        if self.cache is not None:
-            recovery["repair_bytes"] = (
-                self.cache.stats.repair_bytes - repair_bytes_before
-            )
-        if self.blocks is not None:
-            recovery["block_repair_traffic"] = (
-                self.blocks.repair_traffic - block_traffic_before
-            )
-        self._last_recovery = recovery
-        return report.makespan
-
-    def _dag_tasks(
-        self, graph: TaskGraph
-    ) -> tuple[list[SimTask], dict[str, list[str]]]:
-        """Lower graph nodes to SimTasks with locality and dependency maps."""
-        labels = [f"n{node.uid}:{node.kind}" for node in graph.nodes]
-        tasks: list[SimTask] = []
-        deps: dict[str, list[str]] = {}
-        for node in graph.nodes:
-            tasks.append(
-                SimTask(
-                    label=labels[node.uid],
-                    cost=node.cost,
-                    preferred_machine=self._dag_preferred(node),
-                    fetch_bytes=node.data_size,
-                    kind=node.kind,
-                )
-            )
-            deps[labels[node.uid]] = [labels[dep] for dep in node.deps]
-        return tasks, deps
-
-    def _dag_preferred(self, node: TaskNode) -> int | None:
-        """Locality score: block-store placement for split-bound nodes,
-        distributed-cache ownership for memoized state, and the reducer's
-        memo home for the rest of its tree."""
-        if node.split_uid is not None:
-            if self.blocks is not None:
-                return self.blocks.preferred_machine(node.split_uid)
-            return stable_hash(node.split_uid, salt="splitloc") % len(
-                self.cluster
-            )
-        if node.memo_uid is not None and self.cache is not None:
-            owner = self.cache.owner_of(node.memo_uid)
-            if owner is not None and self.cluster.machine(owner).alive:
-                return owner
-        if node.reducer is not None:
-            return stable_hash(
-                (self.job.name, node.reducer), salt="memoloc"
-            ) % len(self.cluster)
-        return None
-
-    def _execute_under_chaos(
-        self,
-        map_tasks: list[SimTask],
-        reduce_tasks: list[SimTask],
-        schedule: ChaosSchedule | None,
-    ) -> float:
-        """Run the wave pair on the fault-tolerant executor, reacting to
-        crashes with cache/block-store re-replication, and record the
-        recovery costs for the run report."""
-        repair_bytes_before = (
-            self.cache.stats.repair_bytes if self.cache is not None else 0.0
-        )
-        block_traffic_before = (
-            self.blocks.repair_traffic if self.blocks is not None else 0.0
-        )
-        hooks = ExecutorHooks(
-            on_crash=self._on_chaos_crash, on_detect=self._on_chaos_detect
-        )
-        report = execute_two_waves(
-            map_tasks,
-            reduce_tasks,
-            self.cluster,
-            self.scheduler,
-            config=self.executor_config,
-            chaos=schedule,
-            hooks=hooks,
-            telemetry=self.telemetry,
-        )
-        recovery = report.stats.as_dict()
-        recovery["map_finish"] = report.map_finish
-        if self.cache is not None:
-            recovery["repair_bytes"] = (
-                self.cache.stats.repair_bytes - repair_bytes_before
-            )
-        if self.blocks is not None:
-            recovery["block_repair_traffic"] = (
-                self.blocks.repair_traffic - block_traffic_before
-            )
-        self._last_recovery = recovery
-        return report.makespan
-
-    def _on_chaos_crash(self, machine_id: int, when: float) -> None:
-        """The machine physically died: its RAM (cache shard) is gone and
-        the trees' process-local memo views can no longer be trusted."""
-        self._chaos_downed.append(machine_id)
-        if self.cache is not None:
-            self.cache.on_machine_failure(machine_id)
-        for tree in self.trees:
-            tree.memo.entries.clear()
-
-    def _on_chaos_detect(self, machine_id: int, when: float) -> None:
-        """The master noticed the crash: re-replicate what lost a copy."""
-        if self.blocks is not None:
-            self.blocks.on_machine_failure(machine_id)
-        if self.cache is not None:
-            self.cache.repair()
-
-    def _heal_chaos(self) -> None:
-        """Revive chaos-crashed machines before the next run when the
-        schedule heals (mirrors FaultInjector's ``heal``)."""
-        if not self._chaos_downed:
-            return
-        if self.chaos is None or getattr(self.chaos, "heal", True):
-            for machine_id in self._chaos_downed:
-                if not self.cluster.machine(machine_id).alive:
-                    self.cluster.revive(machine_id)
-        self._chaos_downed = []
+    # -- delegated maintenance ------------------------------------------------
 
     def set_chaos(
         self,
@@ -785,98 +304,22 @@ class Slider:
         if executor_config is not None:
             self.executor_config = executor_config
 
-    # -- maintenance ---------------------------------------------------------
-
     def on_machine_failure(self, machine_id: int) -> int:
-        """React to a worker crash (§6).
-
-        The crashed machine's share of the in-memory distributed cache is
-        lost; the block store re-replicates its blocks; and the trees'
-        process-local memo views are invalidated, so subsequent lookups go
-        through the shim I/O layer (replicas when the memory copy is
-        gone).  Returns the number of in-memory cache objects lost.
-        """
-        lost = 0
-        if self.cache is not None:
-            lost = self.cache.on_machine_failure(machine_id)
-        if self.blocks is not None:
-            self.blocks.on_machine_failure(machine_id)
-        for tree in self.trees:
-            tree.memo.entries.clear()
-        return lost
+        """React to a worker crash (§6); see LifecycleManager."""
+        return self.lifecycle.on_machine_failure(machine_id)
 
     def collect_garbage(self) -> int:
         """Drop memoized state that the current window can no longer use."""
-        live_split_uids = {split.uid for split in self.window}
-        dead = [uid for uid in self._map_memo if uid not in live_split_uids]
-        for uid in dead:
-            del self._map_memo[uid]
-            if self.blocks is not None:
-                self.blocks.drop_split(uid)
-        dropped = len(dead)
-        for tree in self.trees:
-            live = getattr(tree, "live_memo_uids", None)
-            if live is not None:
-                dropped += tree.memo.retain_only(live())
-        if self.gc is not None and self.cache is not None:
-            # The distributed cache mirrors tree memo tables; retain union.
-            live_uids: set[int] = set()
-            for tree in self.trees:
-                live = getattr(tree, "live_memo_uids", None)
-                if live is not None:
-                    live_uids |= live()
-                else:
-                    live_uids |= set(tree.memo.entries)
-            self.gc.collect(live_uids)
-        return dropped
+        return self.lifecycle.collect_garbage()
 
     def space(self) -> float:
         """Memoized state retained across runs (Figure 13's space metric)."""
-        map_space = sum(
-            sum(len(p) for p in partitions)
-            for partitions in self._map_memo.values()
-        )
-        tree_space = sum(tree.memo.space() for tree in self.trees)
-        cache_space = 0.0
-        for tree in self.trees:
-            cache = getattr(tree, "_cache", None)
-            if isinstance(cache, dict):
-                cache_space += sum(len(p) for p in cache.values())
-        return float(map_space) + tree_space + cache_space
+        return self.lifecycle.space()
 
     def current_outputs(self) -> dict[Any, Any]:
         """Re-derive outputs from current roots without charging work."""
-        outputs: dict[Any, Any] = {}
-        for tree in self.trees:
-            for key, value in tree.root().items():
-                outputs[key] = self.job.reduce_fn(key, value)
-        return outputs
+        return self.lifecycle.current_outputs()
 
     def verify_outputs(self, outputs: dict[Any, Any] | None = None) -> int:
-        """Invariant check: outputs equal a from-scratch batch run.
-
-        Chaos only perturbs the *time* simulation and the storage layers;
-        the incremental computation must still produce exactly what a
-        fault-free batch execution over the current window produces.
-        Raises :class:`~repro.common.errors.ReproError` on any
-        divergence; returns the number of keys checked.
-        """
-        from repro.mapreduce.runtime import BatchRuntime
-
-        expected = BatchRuntime(self.job).run(list(self.window)).outputs
-        actual = outputs if outputs is not None else self.current_outputs()
-        if actual != expected:
-            missing = sorted(
-                str(k) for k in expected.keys() - actual.keys()
-            )[:5]
-            extra = sorted(str(k) for k in actual.keys() - expected.keys())[:5]
-            wrong = sorted(
-                str(k)
-                for k in expected.keys() & actual.keys()
-                if expected[k] != actual[k]
-            )[:5]
-            raise ReproError(
-                "incremental outputs diverged from the batch run: "
-                f"missing={missing} extra={extra} wrong={wrong}"
-            )
-        return len(expected)
+        """Invariant check: outputs equal a from-scratch batch run."""
+        return self.lifecycle.verify_outputs(outputs)

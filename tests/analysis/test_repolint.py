@@ -133,6 +133,77 @@ def test_entry_point_may_build_bare_telemetry(tmp_path):
     assert lint_source(tmp_path, source, name="telemetry/core.py") == []
 
 
+def test_core_importing_slider_fires(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from repro.slider.system import Slider
+        """,
+        name="core/plan.py",
+    )
+    assert rules_of(findings) == ["lint.layering"]
+    assert "repro.slider" in findings[0].message
+
+
+def test_core_importing_cluster_fires(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import repro.cluster.executor
+        """,
+        name="core/execute.py",
+    )
+    assert rules_of(findings) == ["lint.layering"]
+
+
+def test_core_relative_import_upward_fires(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from ..slider import system
+        """,
+        name="core/tree.py",
+    )
+    assert rules_of(findings) == ["lint.layering"]
+
+
+def test_core_importing_common_is_clean(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from repro.common.hashing import stable_hash
+        from .memo import MemoTable
+        """,
+        name="core/plan.py",
+    )
+    assert findings == []
+
+
+def test_slider_may_import_core_and_cluster(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from repro.core.plan import Plan
+        from repro.cluster.executor import execute_dag
+        """,
+        name="slider/execution.py",
+    )
+    assert findings == []
+
+
+def test_oversized_module_fires(tmp_path):
+    source = "\n".join(f"x{i} = {i}" for i in range(501))
+    findings = lint_source(tmp_path, source, name="core/big.py")
+    assert rules_of(findings) == ["lint.module-size"]
+    assert "501 lines" in findings[0].message
+
+
+def test_module_at_cap_is_clean(tmp_path):
+    source = "\n".join(f"x{i} = {i}" for i in range(500))
+    findings = lint_source(tmp_path, source, name="core/fits.py")
+    assert findings == []
+
+
 def test_syntax_error_reported_not_raised(tmp_path):
     findings = lint_source(tmp_path, "def broken(:\n")
     assert rules_of(findings) == ["lint.syntax"]

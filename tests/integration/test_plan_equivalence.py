@@ -1,0 +1,45 @@
+"""The plan/execute path reproduces the seed path bit for bit.
+
+``golden_plan_equivalence.json`` was captured once from the seed code
+(the inline execute-then-replay path, before the plan/execute split) and
+is never regenerated: this test replays the same fixed scenario on the
+current code and requires every recorded field — output fingerprints,
+per-phase work breakdowns, legacy wave-model makespans, graph node
+counts — to match exactly, for all five tree variants.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.slider.equivalence import (
+    SCENARIO_VARIANTS,
+    collect,
+    default_golden_path,
+    diff_against,
+    variant_scenario,
+)
+
+
+def test_golden_records_are_checked_in():
+    path = default_golden_path()
+    assert path.exists(), f"seed golden records missing at {path}"
+    golden = json.loads(path.read_text())
+    assert set(golden) == {variant for variant, _ in SCENARIO_VARIANTS}
+
+
+@pytest.mark.parametrize("variant,mode_name", SCENARIO_VARIANTS)
+def test_variant_matches_seed_golden(variant, mode_name):
+    golden = json.loads(default_golden_path().read_text())
+    problems = diff_against(
+        {variant: golden[variant]}, {variant: variant_scenario(variant, mode_name)}
+    )
+    assert problems == [], "\n".join(problems)
+
+
+def test_full_report_is_equivalent():
+    golden = json.loads(default_golden_path().read_text())
+    problems = diff_against(golden, collect())
+    assert problems == [], "\n".join(problems)

@@ -216,7 +216,7 @@ def test_gc_drops_out_of_window_map_outputs():
     slider.initial_run(splits[:4])
     slider.advance(splits[4:6], 4)
     live = {split.uid for split in slider.window}
-    assert set(slider._map_memo) == live
+    assert set(slider.map_memo) == live
 
 
 def test_space_accounting_positive_after_runs():

@@ -141,21 +141,27 @@ def test_background_work_not_recorded():
         assert_graph_matches_meter(result)
 
 
-def test_record_graph_off_yields_no_graph():
-    config = SliderConfig(mode=WindowMode.VARIABLE, record_graph=False)
+def test_record_graph_off_is_deprecated_and_ignored():
+    """The plan/graph IR is the run now: disabling recording warns and
+    records anyway, so every result still carries its graph and plan."""
+    with pytest.warns(DeprecationWarning, match="record_graph"):
+        config = SliderConfig(mode=WindowMode.VARIABLE, record_graph=False)
+    assert config.record_graph is True
     slider = Slider(count_job(), WindowMode.VARIABLE, config=config)
     result = slider.initial_run([split_of(0)])
-    assert result.graph is None
-    assert slider.recorder is None
+    assert result.graph is not None
+    assert result.plan is not None
     result = slider.advance([split_of(1)], 0)
-    assert result.graph is None
+    assert result.graph is not None
+    assert result.plan is not None
 
 
 def test_recording_does_not_perturb_work():
-    """The recorder is pure observation: run-for-run work and outputs are
-    identical with recording on and off."""
+    """The deprecated record_graph kwarg changes nothing: run-for-run work
+    and outputs are identical either way it is spelled."""
     on = make_slider("folding", WindowMode.VARIABLE, record_graph=True)
-    off = make_slider("folding", WindowMode.VARIABLE, record_graph=False)
+    with pytest.warns(DeprecationWarning, match="record_graph"):
+        off = make_slider("folding", WindowMode.VARIABLE, record_graph=False)
     r_on = on.initial_run([split_of(i) for i in range(5)])
     r_off = off.initial_run([split_of(i) for i in range(5)])
     assert r_on.report.work == r_off.report.work
@@ -168,9 +174,11 @@ def test_recording_does_not_perturb_work():
     assert r_on.outputs == r_off.outputs
 
 
-def test_dag_config_requires_recording():
-    with pytest.raises(ValueError, match="record_graph"):
-        SliderConfig(time_model="dag", record_graph=False)
+def test_dag_no_longer_requires_record_graph():
+    """The old coupling error is gone: dag replay always has a graph."""
+    with pytest.warns(DeprecationWarning, match="record_graph"):
+        config = SliderConfig(time_model="dag", record_graph=False)
+    assert config.record_graph is True
     with pytest.raises(ValueError, match="time model"):
         SliderConfig(time_model="warp")
 
@@ -210,10 +218,11 @@ class TestDagTimeModel:
             "folding", WindowMode.VARIABLE,
             cluster=self.quiet_cluster(), record_graph=True,
         )
-        bare = make_slider(
-            "folding", WindowMode.VARIABLE,
-            cluster=self.quiet_cluster(), record_graph=False,
-        )
+        with pytest.warns(DeprecationWarning, match="record_graph"):
+            bare = make_slider(
+                "folding", WindowMode.VARIABLE,
+                cluster=self.quiet_cluster(), record_graph=False,
+            )
         for slider in (recorded, bare):
             slider.initial_run([split_of(i) for i in range(6)])
         r1 = recorded.advance([split_of(10)], 1)
