@@ -57,8 +57,16 @@ MAX_MODULE_LINES = 500
 
 #: Layering: modules whose path starts with a key may not import any
 #: module whose dotted name starts with one of the listed prefixes.
+#: ``repro.recovery`` sits at the very top of the stack (it reaches into
+#: every layer to capture/restore state), so no substrate layer may
+#: import it — a downward dependency on the recovery subsystem would be
+#: a cycle by construction.
 LAYERING_RULES = {
-    "core/": ("repro.slider", "repro.cluster"),
+    "core/": ("repro.slider", "repro.cluster", "repro.recovery"),
+    "common/": ("repro.recovery",),
+    "mapreduce/": ("repro.recovery",),
+    "cluster/": ("repro.recovery",),
+    "telemetry/": ("repro.recovery",),
 }
 
 

@@ -86,6 +86,13 @@ class Cluster:
 
     def kill(self, machine_id: int) -> None:
         self._check_id(machine_id)
+        if not self.machines[machine_id].alive:
+            warnings.warn(
+                f"kill({machine_id}): machine is already dead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
         self.machines[machine_id].alive = False
 
     def revive(self, machine_id: int) -> None:

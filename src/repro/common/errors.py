@@ -53,5 +53,25 @@ class CacheMissError(ReproError):
     """A memoized object was requested but is not present in any layer."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or applied.
+
+    Examples: a manifest with an unsupported format version, a checkpoint
+    taken from a different job than the one supplied to ``restore``, or a
+    directory that is missing a segment the manifest promises.
+    """
+
+
+class CorruptionError(ReproError):
+    """Stored state failed content-fingerprint verification.
+
+    Raised eagerly on restore when a checkpoint segment's digest does not
+    match its manifest entry, or when a restored partition's entries no
+    longer hash to its recorded uid.  In-memory corruption found lazily on
+    memo reads is *not* raised — it is repaired by recomputation and only
+    costs work.
+    """
+
+
 class QueryCompilationError(ReproError):
     """A logical query plan could not be compiled to a MapReduce pipeline."""

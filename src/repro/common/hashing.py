@@ -77,3 +77,16 @@ def stable_hash_pair(left: int, right: int, *, salt: str = "") -> int:
 def content_id(*parts: Any) -> int:
     """Return a stable content id for a sequence of hashable parts."""
     return stable_hash(tuple(parts), salt="cid")
+
+
+def fingerprint_bytes(payload: bytes, *, salt: str = "ckpt") -> str:
+    """Return a hex digest fingerprinting a raw byte payload.
+
+    Used for checkpoint segments, where the unit of verification is the
+    serialized blob rather than a structured value; 16 bytes of BLAKE2b is
+    ample for integrity (we defend against bit rot and truncation, not an
+    adversary).
+    """
+    return hashlib.blake2b(
+        payload, digest_size=16, person=salt.encode("utf-8")[:16]
+    ).hexdigest()

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.partition import Partition, combine_partitions
 from repro.core.plan import Plan
+from repro.core.poison import PoisonContext
 from repro.core.taskgraph import GraphRecorder, TaskGraph
 from repro.metrics import Phase, WorkMeter
 from repro.telemetry import SpanKind
@@ -70,6 +71,9 @@ class PlanExecutor:
         self.meter = meter if meter is not None else WorkMeter()
         self.recorder = GraphRecorder()
         self.plan: Plan | None = None
+        #: When set (engine configured a poison policy), combiner failures
+        #: are retried and then quarantined instead of aborting the run.
+        self.poison: PoisonContext | None = None
         self._map_costs: dict[int, float] = {}
         self._reducer_costs: dict[int, float] = {}
 
@@ -214,6 +218,11 @@ class PlanExecutor:
             phase=phase,
             cost_factor=tree.combine_cost_factor * cost_scale,
             invocation_overhead=tree.invocation_overhead * cost_scale,
+            on_poison=(
+                self.poison.combine_handler(tree.combiner)
+                if self.poison is not None
+                else None
+            ),
         )
         combine_node = None
         if recorder is not None:

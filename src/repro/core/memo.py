@@ -41,6 +41,10 @@ class MemoStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries that failed fingerprint verification and were dropped.
+    corruptions: int = 0
+    #: Stores skipped because the memo budget was exhausted.
+    skipped_stores: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -63,11 +67,29 @@ class MemoTable:
     backing: "MemoBacking | None" = None
     #: Telemetry backbone to mirror hit/miss/eviction counters into.
     telemetry: "Telemetry | None" = None
+    #: Fingerprint checks on read: "off", "tainted" (only uids marked by
+    #: :meth:`taint`, each verified once), or "paranoid" (every read).
+    verify_mode: str = "tainted"
+    #: Max retained entries; ``None`` is unbounded.  When the budget is
+    #: exhausted new results are recomputed instead of memoized — the
+    #: degradation ladder's strawman end.
+    capacity: int | None = None
+    #: True once the backing store failed; the table then runs local-only
+    #: instead of failing the run.
+    degraded: bool = False
+    _tainted: set[int] = field(default_factory=set)
 
     def lookup(self, uid: int) -> Partition | None:
         found = self.entries.get(uid)
-        if found is None and self.backing is not None:
-            found = self.backing.fetch(uid)
+        if found is not None and not self._verified(uid, found):
+            self.entries.pop(uid, None)
+            self._backing_delete(uid)
+            found = None
+        if found is None and self.backing is not None and not self.degraded:
+            found = self._backing_fetch(uid)
+            if found is not None and not self._verified(uid, found):
+                self._backing_delete(uid)
+                found = None
             if found is not None:
                 self.entries[uid] = found
         if found is None:
@@ -81,17 +103,85 @@ class MemoTable:
         return found
 
     def store(self, uid: int, value: Partition) -> None:
+        if (
+            self.capacity is not None
+            and uid not in self.entries
+            and len(self.entries) >= self.capacity
+        ):
+            self.stats.skipped_stores += 1
+            if self.telemetry is not None:
+                self.telemetry.count("memo.skipped_stores")
+                if self.stats.skipped_stores == 1:
+                    self.telemetry.instant(
+                        "memo.budget_exhausted", capacity=self.capacity
+                    )
+            return
         self.entries[uid] = value
-        if self.backing is not None:
-            self.backing.put(uid, value)
+        if self.backing is not None and not self.degraded:
+            try:
+                self.backing.put(uid, value)
+            except Exception as exc:
+                self._degrade(exc)
 
     def discard(self, uid: int) -> None:
         if self.entries.pop(uid, None) is not None:
             self.stats.evictions += 1
             if self.telemetry is not None:
                 self.telemetry.count("memo.evictions")
-        if self.backing is not None:
+        self._tainted.discard(uid)
+        self._backing_delete(uid)
+
+    # -- corruption detection and degradation ------------------------------
+
+    def taint(self, uids: "set[int] | None" = None) -> None:
+        """Mark entries as suspect: each is fingerprint-verified on its
+        next read (and the mark cleared if it passes).
+
+        With no argument, every currently known uid is tainted — the
+        eager-verification mode used right after a checkpoint restore.
+        """
+        if uids is None:
+            self._tainted.update(self.entries)
+        else:
+            self._tainted.update(uids)
+
+    def _verified(self, uid: int, value: Partition) -> bool:
+        if self.verify_mode == "off":
+            return True
+        if self.verify_mode != "paranoid" and uid not in self._tainted:
+            return True
+        if value.verify_fingerprint():
+            self._tainted.discard(uid)
+            return True
+        self._tainted.discard(uid)
+        self.stats.corruptions += 1
+        if self.telemetry is not None:
+            self.telemetry.count("memo.corruptions")
+            self.telemetry.instant("memo.corruption_dropped", uid=uid)
+        return False
+
+    def _degrade(self, exc: Exception) -> None:
+        self.degraded = True
+        if self.telemetry is not None:
+            self.telemetry.count("memo.degraded")
+            self.telemetry.instant("memo.backing_degraded", error=repr(exc))
+
+    def _backing_fetch(self, uid: int) -> Partition | None:
+        if self.backing is None or self.degraded:
+            return None
+        try:
+            return self.backing.fetch(uid)
+        except Exception as exc:
+            self._degrade(exc)
+            return None
+
+    def _backing_delete(self, uid: int) -> None:
+        if self.backing is None or self.degraded:
+            return
+        try:
             self.backing.delete(uid)
+        except Exception as exc:
+            self._degrade(exc)
 
     def get_or_compute(  # analysis: charge-in-caller-span (tree task span)
         self,

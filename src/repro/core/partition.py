@@ -11,13 +11,19 @@ entries.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.common.hashing import content_id, stable_hash
 from repro.metrics import Phase, WorkMeter
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.mapreduce
     from repro.mapreduce.combiners import Combiner
+
+#: Called when a combiner raises for one key: ``(key, values, exc)``.
+#: Returns ``(recovered, value)`` — recovered True splices ``value`` in as
+#: the merge result (a retry succeeded), False drops the key (quarantined).
+#: An absent handler re-raises the original exception.
+PoisonHandler = Callable[[Any, list[Any], BaseException], "tuple[bool, Any]"]
 
 
 class Partition:
@@ -43,6 +49,7 @@ class Partition:
         combiner: Combiner,
         meter: WorkMeter | None = None,
         phase: Phase = Phase.MAP,
+        on_poison: PoisonHandler | None = None,
     ) -> "Partition":
         """Build a partition from per-key value lists (a Map task's buffer)."""
         entries: dict[Any, Any] = {}
@@ -51,7 +58,15 @@ class Partition:
             if len(values) == 1:
                 entries[key] = values[0]
             else:
-                entries[key] = combiner.merge(key, values)
+                try:
+                    entries[key] = combiner.merge(key, values)
+                except Exception as exc:
+                    if on_poison is None:
+                        raise
+                    recovered, value = on_poison(key, values, exc)
+                    if not recovered:
+                        continue
+                    entries[key] = value
                 cost += combiner.merge_cost(key, values)
         if meter is not None and cost:
             meter.charge(phase, cost)
@@ -89,6 +104,19 @@ class Partition:
         """Total abstract size of the partition, in combiner size units."""
         return sum(combiner.value_size(v) for v in self.entries.values())
 
+    def verify_fingerprint(self) -> bool:
+        """Check that ``entries`` still hash to the recorded ``uid``.
+
+        The uid assigned at construction doubles as a content fingerprint:
+        any later mutation of the entries (bit rot, a chaos
+        ``CorruptionEvent``) makes the recomputed fingerprint diverge.  The
+        shared empty partition carries a symbolic uid rather than a
+        computed one, so it is matched by identity of that uid.
+        """
+        if not self.entries:
+            return self.uid in (_EMPTY.uid, _fingerprint_entries(self.entries))
+        return self.uid == _fingerprint_entries(self.entries)
+
 
 def _fingerprint_entries(entries: Mapping[Any, Any]) -> int:
     # Key order must not matter: XOR per-entry hashes (stable, order-free).
@@ -115,6 +143,7 @@ def combine_partitions(  # analysis: charge-in-caller-span (tree task span)
     phase: Phase = Phase.CONTRACTION,
     cost_factor: float = 1.0,
     invocation_overhead: float = 0.0,
+    on_poison: PoisonHandler | None = None,
 ) -> Partition:
     """Combine several partitions into one, charging per-key merge cost.
 
@@ -144,7 +173,15 @@ def combine_partitions(  # analysis: charge-in-caller-span (tree task span)
             entries[key] = values[0]
             cost += combiner.value_size(values[0]) * 0.1  # copy-through cost
         else:
-            entries[key] = combiner.merge(key, values)
+            try:
+                entries[key] = combiner.merge(key, values)
+            except Exception as exc:
+                if on_poison is None:
+                    raise
+                recovered, value = on_poison(key, values, exc)
+                if not recovered:
+                    continue
+                entries[key] = value
             cost += combiner.merge_cost(key, values)
     if meter is not None:
         meter.charge(phase, cost * cost_factor + invocation_overhead)

@@ -1,0 +1,174 @@
+"""Poison-record quarantine: graceful degradation for user-code failures.
+
+A *poison record* is an input whose ``map_fn`` raises, or a key whose
+combiner merge raises.  Without a policy the exception aborts the whole
+window update; with one, the failing unit is retried a bounded number of
+times (with a modelled exponential backoff, charged as simulated delay
+rather than wall-clock sleep) and then quarantined to a dead-letter
+channel surfaced on the run result.  The rest of the window is unaffected:
+a quarantined map record contributes nothing to its split's partition, and
+a quarantined combine key is dropped from the merged output.
+
+Quarantine is deterministic — the same inputs poison the same units in the
+same order — so runs with a poison policy remain bit-identical across
+checkpoint/restore like any other run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.mapreduce.combiners import Combiner
+    from repro.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class PoisonPolicy:
+    """Bounded retry/backoff for user-code failures.
+
+    ``max_retries`` is the number of *re*-invocations after the first
+    failure; the backoff before retry ``n`` (1-based) is
+    ``backoff_base * backoff_factor ** (n - 1)`` simulated seconds,
+    recorded on the dead letter and in telemetry but never slept.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+    def total_backoff(self, attempts: int) -> float:
+        """Simulated delay accumulated over ``attempts`` invocations."""
+        return sum(
+            self.backoff_base * self.backoff_factor**n
+            for n in range(max(0, attempts - 1))
+        )
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined unit of work, surfaced on ``SliderResult``."""
+
+    #: Pipeline stage that failed: ``"map"`` or ``"combine"``.
+    stage: str
+    #: The poisoned unit: the raw input record (map) or the key (combine).
+    unit: Any
+    #: ``repr`` of the exception from the final attempt.
+    error: str
+    #: Total invocations, including retries.
+    attempts: int
+    #: Where it happened (split label or tree node label).
+    context: str
+    #: Simulated backoff delay accumulated before giving up.
+    backoff: float = 0.0
+
+
+class DeadLetterQueue:
+    """Collects dead letters for the current run and mirrors telemetry."""
+
+    def __init__(
+        self,
+        policy: PoisonPolicy,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        self.policy = policy
+        self.telemetry = telemetry
+        self.letters: list[DeadLetter] = []
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def retry(
+        self, fn: Callable[[], Any], first_exc: BaseException
+    ) -> tuple[bool, Any, int, BaseException]:
+        """Re-invoke ``fn`` under the retry budget after a first failure.
+
+        Returns ``(ok, value, attempts, final_exception)`` where
+        ``attempts`` counts the original invocation plus every retry.
+        Pure user functions fail identically on each retry; the loop still
+        runs so attempt counts and backoff match a real deployment.
+        """
+        attempts = 1
+        last = first_exc
+        while attempts <= self.policy.max_retries:
+            attempts += 1
+            try:
+                return True, fn(), attempts, last
+            except Exception as exc:
+                last = exc
+        return False, None, attempts, last
+
+    def quarantine(
+        self, stage: str, unit: Any, exc: BaseException, attempts: int, context: str
+    ) -> DeadLetter:
+        letter = DeadLetter(
+            stage=stage,
+            unit=unit,
+            error=repr(exc),
+            attempts=attempts,
+            context=context,
+            backoff=self.policy.total_backoff(attempts),
+        )
+        self.letters.append(letter)
+        if self.telemetry is not None:
+            self.telemetry.count("poison.dead_letters")
+            self.telemetry.instant(
+                "poison.quarantined",
+                stage=stage,
+                context=context,
+                attempts=attempts,
+                error=letter.error,
+            )
+        return letter
+
+    def drain(self) -> tuple[DeadLetter, ...]:
+        """Hand the accumulated letters to the run result and reset."""
+        letters = tuple(self.letters)
+        self.letters.clear()
+        return letters
+
+
+@dataclass
+class PoisonContext:
+    """Everything the executor and map path need to quarantine failures.
+
+    Built by the engine when ``SliderConfig.poison_policy`` is set; absent
+    (``None``) by default, in which case user-code exceptions propagate
+    exactly as before.
+    """
+
+    queue: DeadLetterQueue
+    #: Label describing the current unit of work, for dead-letter context.
+    context: str = "run"
+
+    def combine_handler(
+        self, combiner: "Combiner"
+    ) -> Callable[[Any, list[Any], BaseException], tuple[bool, Any]]:
+        """Poison handler for combiner merges (``on_poison`` shape).
+
+        Retries the merge under the policy; on success returns the
+        recovered value, on exhaustion quarantines the key and signals the
+        caller to drop it.
+        """
+
+        def handle(
+            key: Any, values: list[Any], exc: BaseException
+        ) -> tuple[bool, Any]:
+            ok, value, attempts, last = self.queue.retry(
+                lambda: combiner.merge(key, values), exc
+            )
+            if ok:
+                return True, value
+            self.queue.quarantine("combine", key, last, attempts, self.context)
+            return False, None
+
+        return handle

@@ -13,6 +13,7 @@ from typing import Any, Iterable
 
 from repro.common.hashing import stable_hash
 from repro.core.partition import Partition
+from repro.core.poison import PoisonContext
 from repro.mapreduce.job import MapReduceJob
 from repro.metrics import Phase, WorkMeter
 from repro.telemetry import SpanKind
@@ -38,6 +39,7 @@ def run_map_task(  # analysis: charge-in-caller-span (opens its own task span)
     partitioner: HashPartitioner,
     meter: WorkMeter | None = None,
     label: str = "",
+    poison: PoisonContext | None = None,
 ) -> list[Partition]:
     """Run the Map function over a split and locally combine per reducer.
 
@@ -45,6 +47,11 @@ def run_map_task(  # analysis: charge-in-caller-span (opens its own task span)
     (per record, at the job's compute intensity) and shuffle work (per
     emitted pair).  When metered, the whole task is wrapped in a TASK span
     (named ``label`` if given) so its map/shuffle charges are attributed.
+
+    ``poison`` (when the engine configured a poison policy) quarantines
+    records whose ``map_fn`` raises — after the policy's bounded retries —
+    to the dead-letter channel instead of aborting the task; quarantined
+    records emit nothing but still pay their map cost (the attempts ran).
     """
     scope = (
         meter.telemetry.span(label or "map-task", SpanKind.TASK)
@@ -59,7 +66,20 @@ def run_map_task(  # analysis: charge-in-caller-span (opens its own task span)
         pair_count = 0
         for record in records:
             record_count += 1
-            for key, value in job.map_fn(record):
+            try:
+                pairs = job.map_fn(record)
+            except Exception as exc:
+                if poison is None:
+                    raise
+                ok, pairs, attempts, last = poison.queue.retry(
+                    lambda: job.map_fn(record), exc
+                )
+                if not ok:
+                    poison.queue.quarantine(
+                        "map", record, last, attempts, label or "map-task"
+                    )
+                    continue
+            for key, value in pairs:
                 pair_count += 1
                 buffers[partitioner.partition(key)].setdefault(key, []).append(
                     value
@@ -74,7 +94,16 @@ def run_map_task(  # analysis: charge-in-caller-span (opens its own task span)
         outputs = []
         for buffer in buffers:
             outputs.append(
-                Partition.from_value_lists(buffer, job.combiner, meter=None)
+                Partition.from_value_lists(
+                    buffer,
+                    job.combiner,
+                    meter=None,
+                    on_poison=(
+                        poison.combine_handler(job.combiner)
+                        if poison is not None
+                        else None
+                    ),
+                )
             )
         return outputs
 

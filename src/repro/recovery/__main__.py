@@ -1,0 +1,67 @@
+"""CLI entry point: ``python -m repro.recovery``.
+
+Runs the kill-at-every-slide-boundary crash-restart sweep across the
+tree variants, optionally writing the JSON report and retaining one
+sample checkpoint directory — both published by CI as artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.recovery.sweep import SCENARIO_VARIANTS, run_sweep
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.recovery",
+        description="Kill/restore-at-every-boundary equivalence sweep.",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--keep-checkpoint",
+        type=Path,
+        default=None,
+        help="retain one sample checkpoint directory here",
+    )
+    parser.add_argument(
+        "--variant",
+        action="append",
+        choices=sorted({v for v, _ in SCENARIO_VARIANTS}),
+        help="restrict the sweep to this variant (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_sweep(
+        variants=args.variant, keep_checkpoint=args.keep_checkpoint
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"report written to {args.out}")
+    if args.keep_checkpoint is not None:
+        print(f"sample checkpoint retained at {args.keep_checkpoint}")
+
+    for result in report["variants"]:
+        status = "ok" if result["equivalent"] else "MISMATCH"
+        print(
+            f"{result['variant']:<11} ({result['mode']}): "
+            f"{len(result['kill_points'])} kill points over "
+            f"{result['runs']} runs — {status}"
+        )
+        for problem in result["mismatches"]:
+            print(f"  MISMATCH {problem}")
+    ok = report["equivalent"]
+    print(
+        f"{len(report['variants'])} variants: "
+        + ("bit-identical under kill/restore" if ok else "DIVERGED")
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

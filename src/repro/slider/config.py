@@ -12,6 +12,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
+from repro.core.poison import PoisonPolicy
 from repro.slider.window import WindowMode
 
 #: Tree-variant names accepted by SliderConfig.tree.
@@ -22,6 +23,9 @@ TREE_VARIANTS = ("auto", "folding", "randomized", "rotating", "coalescing", "str
 #: (bit-identical to every historical figure); "dag" replays the run's
 #: task graph at sub-computation granularity with topological readiness.
 TIME_MODELS = ("waves", "dag")
+
+#: Memo fingerprint-verification modes accepted by SliderConfig.memo_verify.
+MEMO_VERIFY_MODES = ("off", "tainted", "paranoid")
 
 
 @dataclass(frozen=True)
@@ -45,10 +49,28 @@ class SliderConfig:
     time_model: str = "waves"
     #: Deprecated: the per-run plan/graph IR is always recorded now.
     record_graph: bool = True
+    #: Quarantine poison records/keys under this retry policy instead of
+    #: failing the run; ``None`` propagates user-code exceptions unchanged.
+    poison_policy: PoisonPolicy | None = None
+    #: Max entries each tree memo table retains; exhausting the budget
+    #: degrades new sub-computations toward strawman recomputation.
+    memo_budget: int | None = None
+    #: Memo fingerprint verification on read: "off", "tainted" (only
+    #: entries marked suspect, each verified once), or "paranoid".
+    memo_verify: str = "tainted"
 
     def __post_init__(self) -> None:
         if self.time_model not in TIME_MODELS:
             raise ValueError(f"unknown time model {self.time_model!r}")
+        if self.memo_verify not in MEMO_VERIFY_MODES:
+            raise ValueError(
+                f"unknown memo_verify mode {self.memo_verify!r} "
+                f"(choose from {MEMO_VERIFY_MODES})"
+            )
+        if self.memo_budget is not None and self.memo_budget < 0:
+            raise ValueError(
+                f"memo_budget must be non-negative, got {self.memo_budget}"
+            )
         if not self.record_graph:
             warnings.warn(
                 "SliderConfig(record_graph=False) is deprecated and ignored: "

@@ -114,34 +114,72 @@ class StreamDriver:
         """Outputs as of the last completed slide."""
         return self.results[-1].outputs if self.results else {}
 
+    def checkpoint(self, path) -> None:
+        """Write a durable checkpoint: engine state plus the stream cursor.
+
+        Legal between ``feed`` calls (the engine must be idle).  Records
+        already fed but not yet closed into a slide — the unacknowledged
+        tail — are captured verbatim and replayed by ``restore``.
+        """
+        from repro.recovery.checkpoint import write_driver_checkpoint
+
+        write_driver_checkpoint(self, path)
+
+    @staticmethod
+    def restore(path, job: MapReduceJob, timestamp_fn: TimestampFn) -> "StreamDriver":
+        """Rebuild a driver from ``checkpoint``; replays only the pending
+        record tail (completed slides are never re-fed)."""
+        from repro.recovery.checkpoint import restore_driver
+
+        return restore_driver(path, job, timestamp_fn)
+
     # -- internals ---------------------------------------------------------
 
     def _close_slide(self) -> SliderResult | None:
-        records, self._pending = self._pending, []
-        batch = _SlideBatch(self._slide_index)
-        self._slide_index += 1
-        if records:
-            batch.splits = make_splits(
-                records,
-                split_size=self.split_size,
-                label_prefix=f"slide{batch.slide_index}-",
-            )
-        self._live_batches.append(batch)
+        # Atomic per slide: any failure inside the engine (a poison record
+        # with no quarantine policy, an injected fault, ...) must leave the
+        # stream cursor exactly as it was, so the caller can checkpoint or
+        # retry without half a slide folded into the buffers.
+        saved = (
+            self._pending,
+            list(self._live_batches),
+            self._slide_index,
+            self._ran_initial,
+        )
+        try:
+            records, self._pending = self._pending, []
+            batch = _SlideBatch(self._slide_index)
+            self._slide_index += 1
+            if records:
+                batch.splits = make_splits(
+                    records,
+                    split_size=self.split_size,
+                    label_prefix=f"slide{batch.slide_index}-",
+                )
+            self._live_batches.append(batch)
 
-        removed = 0
-        limit = self.slides_per_window
-        if limit is not None:
-            while len(self._live_batches) > limit:
-                expired = self._live_batches.pop(0)
-                removed += len(expired.splits)
+            removed = 0
+            limit = self.slides_per_window
+            if limit is not None:
+                while len(self._live_batches) > limit:
+                    expired = self._live_batches.pop(0)
+                    removed += len(expired.splits)
 
-        if not self._ran_initial:
-            window_splits = [
-                split for live in self._live_batches for split in live.splits
-            ]
-            result = self.slider.initial_run(window_splits)
-            self._ran_initial = True
-        else:
-            result = self.slider.advance(batch.splits, removed)
+            if not self._ran_initial:
+                window_splits = [
+                    split for live in self._live_batches for split in live.splits
+                ]
+                result = self.slider.initial_run(window_splits)
+                self._ran_initial = True
+            else:
+                result = self.slider.advance(batch.splits, removed)
+        except BaseException:
+            (
+                self._pending,
+                self._live_batches,
+                self._slide_index,
+                self._ran_initial,
+            ) = saved
+            raise
         self.results.append(result)
         return result

@@ -286,4 +286,9 @@ class TimeSimulator:
             recovery["block_repair_traffic"] = (
                 engine.blocks.repair_traffic - block_traffic_before
             )
-        engine.last_recovery = recovery
+        # Merge, not replace: corruption-repair stats recorded by the
+        # lifecycle layer earlier in this run must survive the simulation.
+        for key, value in recovery.items():
+            engine.last_recovery[key] = (
+                engine.last_recovery.get(key, 0.0) + value
+            )

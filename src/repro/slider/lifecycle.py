@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - type-only facade reference
     from repro.slider.system import Slider
@@ -65,6 +65,13 @@ class LifecycleManager:
         gone).  Returns the number of in-memory cache objects lost.
         """
         engine = self.engine
+        if engine.cluster is None:
+            raise SchedulingError(
+                f"on_machine_failure({machine_id}): this Slider runs "
+                "without a cluster — construct it with Slider(..., "
+                "cluster=Cluster(...)) to simulate machine failures"
+            )
+        engine.cluster.machine(machine_id)  # raises on unknown ids
         lost = 0
         if engine.cache is not None:
             lost = engine.cache.on_machine_failure(machine_id)
@@ -73,6 +80,31 @@ class LifecycleManager:
         for tree in engine.trees:
             tree.memo.entries.clear()
         return lost
+
+    # -- corruption injection and repair -------------------------------------
+
+    def inject_corruption(self) -> dict[str, float]:
+        """Inject this run's scheduled corruption and repair it eagerly.
+
+        Called inside the window-update span, before the run's plan opens:
+        the repair recomputes land in the run's phase delta, so corruption
+        costs work but never changes outputs.  Merges repair stats into
+        ``engine.last_recovery`` and returns them.
+        """
+        engine = self.engine
+        schedule = None
+        if engine.chaos is not None:
+            schedule = engine.chaos.for_run(engine.run_index)
+        if schedule is None or not getattr(schedule, "corruptions", None):
+            return {}
+        from repro.recovery.repair import inject_and_repair
+
+        stats = inject_and_repair(engine, schedule)
+        for key, value in stats.items():
+            engine.last_recovery[key] = (
+                engine.last_recovery.get(key, 0.0) + value
+            )
+        return stats
 
     # -- garbage collection and space ----------------------------------------
 

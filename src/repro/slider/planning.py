@@ -54,7 +54,12 @@ class RunPlanner:
 
     def make_tree(self) -> ContractionTree:
         engine = self.engine
-        memo = MemoTable(backing=engine.cache, telemetry=engine.telemetry)
+        memo = MemoTable(
+            backing=engine.cache,
+            telemetry=engine.telemetry,
+            verify_mode=engine.config.memo_verify,
+            capacity=engine.config.memo_budget,
+        )
         common = dict(
             meter=engine.meter,
             memo=memo,
@@ -144,6 +149,7 @@ class RunPlanner:
                 engine.partitioner,
                 meter,
                 label=f"map:{split.uid:#x}",
+                poison=executor.poison,
             )
             executor.record_map_cost(split.uid, meter.total() - before)
             recorder.map_task(

@@ -35,6 +35,7 @@ from repro.common.errors import WindowError
 from repro.core.base import ContractionTree
 from repro.core.execute import PlanExecutor, RunExecution
 from repro.core.partition import Partition
+from repro.core.poison import DeadLetterQueue, PoisonContext
 from repro.core.plan import Plan
 from repro.core.taskgraph import TaskGraph
 from repro.mapreduce.job import MapReduceJob
@@ -78,6 +79,9 @@ class SliderResult:
     graph: TaskGraph | None = None
     #: The run's plan: the memo-independent step sequence that was executed.
     plan: Plan | None = None
+    #: Poison records/keys quarantined during this run (empty unless the
+    #: engine was configured with a poison policy and user code raised).
+    dead_letters: tuple = ()
 
 
 class Slider:
@@ -112,6 +116,14 @@ class Slider:
         #: the engine's map/reduce passes and all tree combines — resolves
         #: here, and each run reifies into its plan/graph pair.
         self.executor = PlanExecutor(meter=self.meter)
+        #: Dead-letter channel for poison records/keys (graceful
+        #: degradation); None unless the config sets a poison policy.
+        self.dead_letters: DeadLetterQueue | None = None
+        if self.config.poison_policy is not None:
+            self.dead_letters = DeadLetterQueue(
+                policy=self.config.poison_policy, telemetry=self.telemetry
+            )
+            self.executor.poison = PoisonContext(queue=self.dead_letters)
         self.cluster = cluster
         self.scheduler = scheduler or HybridScheduler()
         self.cache: DistributedMemoCache | None = None
@@ -161,6 +173,9 @@ class Slider:
         with self.telemetry.span(
             "initial", SpanKind.WINDOW_UPDATE, run_index=self.run_index
         ):
+            self.lifecycle.inject_corruption()
+            if self.executor.poison is not None:
+                self.executor.poison.context = "initial"
             self.executor.begin_run("initial")
             with self.telemetry.span("map", SpanKind.PHASE):
                 self.planner.run_maps(splits)
@@ -192,6 +207,9 @@ class Slider:
             added=len(added),
             removed=removed,
         ):
+            self.lifecycle.inject_corruption()
+            if self.executor.poison is not None:
+                self.executor.poison.context = f"incremental-{self.run_index}"
             self.executor.begin_run(f"incremental-{self.run_index}")
             with self.telemetry.span("map", SpanKind.PHASE):
                 reused = self.planner.run_maps(added)
@@ -287,6 +305,11 @@ class Slider:
             removed_keys=self._last_removed_keys,
             graph=run.graph,
             plan=run.plan,
+            dead_letters=(
+                self.dead_letters.drain()
+                if self.dead_letters is not None
+                else ()
+            ),
         )
         self.run_index += 1
         return result
@@ -323,3 +346,28 @@ class Slider:
     def verify_outputs(self, outputs: dict[Any, Any] | None = None) -> int:
         """Invariant check: outputs equal a from-scratch batch run."""
         return self.lifecycle.verify_outputs(outputs)
+
+    # -- durability -----------------------------------------------------------
+
+    def checkpoint(self, path) -> None:
+        """Write a durable, fingerprinted checkpoint of all cross-run state.
+
+        See :mod:`repro.recovery.checkpoint`.  Refuses mid-run (open plan
+        or open spans) with :class:`~repro.common.errors.CheckpointError`.
+        """
+        from repro.recovery.checkpoint import write_checkpoint
+
+        write_checkpoint(self, path)
+
+    @staticmethod
+    def restore(path, job: MapReduceJob) -> "Slider":
+        """Rebuild a Slider from a checkpoint written by :meth:`checkpoint`.
+
+        ``job`` must be the same job the checkpoint was taken from (jobs
+        carry user functions, which checkpoints do not serialize); segment
+        fingerprints are verified eagerly and a mismatch raises
+        :class:`~repro.common.errors.CorruptionError`.
+        """
+        from repro.recovery.checkpoint import restore_slider
+
+        return restore_slider(path, job)

@@ -179,6 +179,31 @@ def test_core_importing_common_is_clean(tmp_path):
     assert findings == []
 
 
+def test_substrate_importing_recovery_fires(tmp_path):
+    # repro.recovery is the top of the stack: no lower layer may pull it in.
+    for module in ("core/memo.py", "cluster/cache.py", "mapreduce/shuffle.py"):
+        findings = lint_source(
+            tmp_path,
+            """
+            from repro.recovery.checkpoint import write_checkpoint
+            """,
+            name=module,
+        )
+        assert rules_of(findings) == ["lint.layering"], module
+        assert "repro.recovery" in findings[0].message
+
+
+def test_slider_importing_recovery_is_clean(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from repro.recovery.checkpoint import write_checkpoint
+        """,
+        name="slider/system.py",
+    )
+    assert findings == []
+
+
 def test_slider_may_import_core_and_cluster(tmp_path):
     findings = lint_source(
         tmp_path,

@@ -71,6 +71,15 @@ def test_kill_unknown_machine_raises_scheduling_error():
             cluster.machine(bogus)
 
 
+def test_kill_dead_machine_warns_and_is_noop():
+    cluster = Cluster(ClusterConfig(num_machines=2, straggler_fraction=0.0))
+    cluster.kill(0)
+    with pytest.warns(RuntimeWarning, match="already dead"):
+        cluster.kill(0)
+    assert not cluster.machine(0).alive
+    assert cluster.machine(1).alive
+
+
 def test_revive_alive_machine_warns_and_is_noop():
     cluster = Cluster(ClusterConfig(num_machines=2, straggler_fraction=0.0))
     with pytest.warns(RuntimeWarning, match="already alive"):

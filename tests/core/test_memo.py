@@ -78,3 +78,80 @@ def test_hit_rate_call_form_deprecated_but_working():
     table.lookup(1)
     with pytest.warns(DeprecationWarning, match="property"):
         assert table.stats.hit_rate() == 1.0
+
+
+def _corrupted(value: Partition) -> Partition:
+    """A copy whose entries diverged from the recorded fingerprint."""
+    entries = dict(value.entries)
+    entries["\x00bitrot"] = 1
+    return Partition(entries, uid=value.uid)
+
+
+def test_paranoid_verify_drops_corrupt_entry():
+    table = MemoTable(verify_mode="paranoid")
+    good = Partition({"k": 1})
+    table.store(7, good)
+    table.entries[7] = _corrupted(good)
+    assert table.lookup(7) is None
+    assert table.stats.corruptions == 1
+    assert 7 not in table.entries
+
+
+def test_tainted_mode_verifies_once_after_taint():
+    table = MemoTable()  # default verify_mode="tainted"
+    good = Partition({"k": 1})
+    table.store(7, good)
+    table.entries[7] = _corrupted(good)
+    # Untainted: the corrupt entry is served (verification is lazy).
+    assert table.lookup(7) is not None
+    table.taint({7})
+    assert table.lookup(7) is None
+    assert table.stats.corruptions == 1
+
+
+def test_taint_clears_on_successful_verify():
+    table = MemoTable()
+    table.store(7, Partition({"k": 1}))
+    table.taint()  # no argument: taint everything known
+    assert table.lookup(7) is not None
+    assert 7 not in table._tainted
+    assert table.stats.corruptions == 0
+
+
+def test_verify_off_serves_anything():
+    table = MemoTable(verify_mode="off")
+    good = Partition({"k": 1})
+    table.store(7, good)
+    table.entries[7] = _corrupted(good)
+    table.taint({7})
+    assert table.lookup(7) is not None
+    assert table.stats.corruptions == 0
+
+
+def test_capacity_budget_skips_stores():
+    table = MemoTable(capacity=1)
+    table.store(1, Partition({"a": 1}))
+    table.store(2, Partition({"b": 2}))  # over budget: skipped
+    table.store(1, Partition({"a": 3}))  # replacing a held uid is fine
+    assert len(table) == 1
+    assert table.stats.skipped_stores == 1
+    assert table.lookup(2) is None
+
+
+class _FailingBacking:
+    def fetch(self, uid):
+        raise OSError("backing store unavailable")
+
+    def put(self, uid, value):
+        raise OSError("backing store unavailable")
+
+    def delete(self, uid):
+        raise OSError("backing store unavailable")
+
+
+def test_backing_failure_degrades_instead_of_raising():
+    table = MemoTable(backing=_FailingBacking())
+    table.store(1, Partition({"a": 1}))  # put fails -> degraded, kept local
+    assert table.degraded
+    assert table.lookup(1) is not None  # local entry still serves
+    assert table.lookup(2) is None  # no backing consult once degraded

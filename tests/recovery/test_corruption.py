@@ -1,0 +1,104 @@
+"""Injected corruption is detected and repaired; outputs never change."""
+
+import pytest
+
+from repro.cluster.chaos import ChaosPlan, ChaosSchedule, CorruptionEvent
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.common.errors import CorruptionError
+from repro.recovery.repair import (
+    _corrupt_copy,
+    corruption_candidates,
+    verify_restored,
+)
+from repro.slider.equivalence import _scenario_job, _scenario_split
+from repro.slider.system import Slider, SliderConfig
+from repro.slider.window import WindowMode
+
+
+def _run_scenario(variant: str, chaos=None):
+    slider = Slider(
+        _scenario_job(),
+        WindowMode.VARIABLE,
+        config=SliderConfig(tree=variant),
+        cluster=Cluster(ClusterConfig(num_machines=8, straggler_fraction=0.0)),
+        chaos=chaos,
+    )
+    results = [slider.initial_run([_scenario_split(i) for i in range(6)])]
+    results.append(slider.advance([_scenario_split(10)], 2))
+    results.append(slider.advance([_scenario_split(11)], 1))
+    return slider, results
+
+
+def _outputs(results):
+    return [dict(result.outputs) for result in results]
+
+
+def _corruption_plan(count=3, seed=5) -> ChaosPlan:
+    return ChaosPlan(
+        schedules={
+            1: ChaosSchedule(
+                corruptions=[CorruptionEvent(count=count)], seed=seed
+            ),
+            2: ChaosSchedule(
+                corruptions=[CorruptionEvent(count=count, salt=1)], seed=seed
+            ),
+        }
+    )
+
+
+@pytest.mark.parametrize("variant", ["folding", "randomized", "strawman"])
+def test_corruption_never_reaches_outputs(variant):
+    _, clean = _run_scenario(variant)
+    corrupted_engine, corrupted = _run_scenario(variant, chaos=_corruption_plan())
+    assert _outputs(corrupted) == _outputs(clean)
+    corrupted_engine.verify_outputs()
+    injected = corrupted_engine.telemetry.counters.get(
+        "recovery.corruptions_injected", 0
+    )
+    assert injected > 0
+
+
+def test_eager_repair_is_charged_as_work():
+    clean_engine, _ = _run_scenario("folding")
+    engine, results = _run_scenario("folding", chaos=_corruption_plan())
+    recovery = results[1].report.recovery
+    assert recovery["corruptions_injected"] > 0
+    assert recovery["corruptions_repaired"] > 0
+    assert recovery["corruption_repair_work"] > 0
+    # Corruption costs work, not correctness: total charged work strictly
+    # exceeds the clean run's.
+    assert engine.meter.total() > clean_engine.meter.total()
+
+
+def test_repair_telemetry_is_deterministic():
+    a, results_a = _run_scenario("folding", chaos=_corruption_plan())
+    b, results_b = _run_scenario("folding", chaos=_corruption_plan())
+    assert [r.report.recovery for r in results_a] == [
+        r.report.recovery for r in results_b
+    ]
+    assert a.telemetry.counters == b.telemetry.counters
+
+
+def test_corruption_candidates_are_deterministic():
+    engine, _ = _run_scenario("folding")
+    assert corruption_candidates(engine) == corruption_candidates(engine)
+    assert corruption_candidates(engine), "retained state should be flippable"
+
+
+def test_randomized_memo_corruption_heals_lazily():
+    """Tainted memo entries are verified on next read and dropped; the
+    backing replica (untouched by the bit-flip) serves the good copy."""
+    _, clean = _run_scenario("randomized")
+    engine, results = _run_scenario("randomized", chaos=_corruption_plan(count=4))
+    assert _outputs(results) == _outputs(clean)
+    engine.verify_outputs()
+
+
+def test_verify_restored_raises_on_in_memory_corruption():
+    engine, _ = _run_scenario("folding")
+    assert verify_restored(engine) > 0
+    tree = engine.trees[0]
+    position = next(iter(sorted(tree._cache)))
+    tree._cache[position] = _corrupt_copy(tree._cache[position], salt=7)
+    with pytest.raises(CorruptionError, match="fingerprint"):
+        verify_restored(engine)

@@ -1,0 +1,145 @@
+"""Graceful degradation: poison quarantine, memo budgets, backing loss."""
+
+import pytest
+
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.common.errors import SchedulingError
+from repro.core.poison import PoisonPolicy
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import Split
+from repro.slider.equivalence import _scenario_job, _scenario_split
+from repro.slider.system import Slider, SliderConfig
+
+
+class _BoomCombiner(SumCombiner):
+    """Raises on one poisoned key; well-behaved everywhere else."""
+
+    def merge(self, key, values):
+        if key == "bad":
+            raise RuntimeError("poisoned key")
+        return super().merge(key, values)
+
+
+def _poison_job(combiner=None) -> MapReduceJob:
+    def map_fn(record):
+        if record == "boom":
+            raise ValueError("poison record")
+        return [(record, 1)]
+
+    return MapReduceJob(
+        name="poison-job",
+        map_fn=map_fn,
+        combiner=combiner or SumCombiner(),
+        num_reducers=2,
+    )
+
+
+def test_poison_record_quarantined_to_dead_letters():
+    slider = Slider(
+        _poison_job(),
+        config=SliderConfig(poison_policy=PoisonPolicy(max_retries=2)),
+    )
+    result = slider.initial_run(
+        [Split.from_records(["a", "boom", "b"], label="s0")]
+    )
+    assert result.outputs == {"a": 1, "b": 1}
+    assert len(result.dead_letters) == 1
+    letter = result.dead_letters[0]
+    assert letter.stage == "map"
+    assert letter.unit == "boom"
+    assert letter.attempts == 3  # original + two retries
+    assert letter.backoff == pytest.approx(
+        PoisonPolicy(max_retries=2).total_backoff(3)
+    )
+    assert "ValueError" in letter.error
+    assert slider.telemetry.counters["poison.dead_letters"] == 1
+
+
+def test_poison_without_policy_propagates():
+    slider = Slider(_poison_job())
+    with pytest.raises(ValueError, match="poison record"):
+        slider.initial_run([Split.from_records(["a", "boom"], label="s0")])
+
+
+def test_poison_key_dropped_from_combine():
+    slider = Slider(
+        _poison_job(combiner=_BoomCombiner()),
+        config=SliderConfig(poison_policy=PoisonPolicy(max_retries=1)),
+    )
+    result = slider.initial_run(
+        [Split.from_records(["a", "bad", "bad", "b"], label="s0")]
+    )
+    assert result.outputs == {"a": 1, "b": 1}
+    assert any(
+        letter.stage == "combine" and letter.unit == "bad"
+        for letter in result.dead_letters
+    )
+
+
+def test_dead_letters_reset_between_runs():
+    slider = Slider(
+        _poison_job(),
+        config=SliderConfig(poison_policy=PoisonPolicy(max_retries=0)),
+    )
+    first = slider.initial_run(
+        [Split.from_records(["a", "boom"], label="s0")]
+    )
+    assert len(first.dead_letters) == 1
+    second = slider.advance([Split.from_records(["c"], label="s1")], 0)
+    assert second.dead_letters == ()
+    assert second.outputs == {"a": 1, "c": 1}
+
+
+def test_memo_budget_degrades_toward_recomputation():
+    # The randomized tree is the content-memoized variant; a zero budget
+    # degrades every one of its sub-computations to recomputation.
+    healthy = Slider(_scenario_job(), config=SliderConfig(tree="randomized"))
+    budgeted = Slider(
+        _scenario_job(), config=SliderConfig(tree="randomized", memo_budget=0)
+    )
+    for engine in (healthy, budgeted):
+        engine.initial_run([_scenario_split(i) for i in range(6)])
+    expected = healthy.advance([_scenario_split(10)], 2)
+    got = budgeted.advance([_scenario_split(10)], 2)
+    assert got.outputs == expected.outputs
+    skipped = sum(t.memo.stats.skipped_stores for t in budgeted.trees)
+    assert skipped > 0
+    assert budgeted.telemetry.counters["memo.skipped_stores"] == skipped
+    assert all(len(t.memo.entries) == 0 for t in budgeted.trees)
+
+
+def test_backing_failure_degrades_to_local_only():
+    cluster = Cluster(ClusterConfig(num_machines=4, straggler_fraction=0.0))
+    config = SliderConfig(tree="randomized")
+    slider = Slider(_scenario_job(), config=config, cluster=cluster)
+    healthy = Slider(_scenario_job(), config=config)
+
+    def fail(*args, **kwargs):
+        raise OSError("cache backend unavailable")
+
+    slider.cache.put = fail
+    result = slider.initial_run([_scenario_split(i) for i in range(4)])
+    expected = healthy.initial_run([_scenario_split(i) for i in range(4)])
+    assert result.outputs == expected.outputs
+    assert any(t.memo.degraded for t in slider.trees)
+    assert slider.telemetry.counters["memo.degraded"] >= 1
+    # Degraded mode keeps working locally across further advances.
+    follow = slider.advance([_scenario_split(9)], 1)
+    follow_expected = healthy.advance([_scenario_split(9)], 1)
+    assert follow.outputs == follow_expected.outputs
+
+
+def test_on_machine_failure_requires_a_cluster():
+    slider = Slider(_scenario_job())
+    slider.initial_run([_scenario_split(0)])
+    with pytest.raises(SchedulingError, match="without a cluster"):
+        slider.lifecycle.on_machine_failure(0)
+
+
+def test_on_machine_failure_rejects_unknown_machine():
+    cluster = Cluster(ClusterConfig(num_machines=3, straggler_fraction=0.0))
+    slider = Slider(_scenario_job(), cluster=cluster)
+    slider.initial_run([_scenario_split(0)])
+    with pytest.raises(SchedulingError, match="unknown machine"):
+        slider.lifecycle.on_machine_failure(99)

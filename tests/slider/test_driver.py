@@ -106,3 +106,45 @@ def test_results_accumulate_reports():
     driver.feed(list(events(0, 25, "k")) + [(31.0, "k")])
     assert len(driver.results) == 3
     assert all(r.report.work >= 0 for r in driver.results)
+
+
+def test_failed_slide_leaves_driver_state_intact(tmp_path):
+    """A failure inside the engine must not half-close the slide: the
+    stream cursor rolls back, so a checkpoint taken before the crash can
+    resume without losing or duplicating records."""
+    tripped = []
+
+    def map_fn(record):
+        if record[1] == "boom" and not tripped:
+            tripped.append(record)
+            raise RuntimeError("transient user-code failure")
+        return [(record[1], 1)]
+
+    job = MapReduceJob(
+        name="flaky", map_fn=map_fn, combiner=SumCombiner(), num_reducers=2
+    )
+    driver = make_driver(job=job)
+    driver.feed(list(events(0, 9, "a")) + [(9.5, "boom")])
+    pending_before = list(driver._pending)
+    driver.checkpoint(tmp_path / "ckpt")
+
+    with pytest.raises(RuntimeError, match="transient"):
+        driver.feed([(11.0, "b")])
+
+    # Nothing was committed: no slide closed, the buffered records are
+    # still pending, and the boundary record was not swallowed.
+    assert driver.results == []
+    assert driver._pending == pending_before
+    assert driver._slide_index == 0
+    assert not driver._ran_initial
+    assert driver._live_batches == []
+
+    # Recovery: restore the pre-crash checkpoint and replay the tail
+    # (the transient failure has cleared); every record lands exactly once.
+    resumed = StreamDriver.restore(
+        tmp_path / "ckpt", job, timestamp_fn=lambda record: record[0]
+    )
+    assert resumed._pending == pending_before
+    produced = resumed.feed([(11.0, "b")])
+    assert len(produced) == 1
+    assert produced[0].outputs == {"a": 9, "boom": 1}
