@@ -121,6 +121,22 @@ class ContractionTree(ABC):
     def root(self) -> Partition:
         """The current root partition (after the last run)."""
 
+    def plan_structure_key(self) -> tuple | None:
+        """A hashable key for the tree state the next plan's shape depends on.
+
+        Together with the window motion ``(len(added), removed)``, the key
+        must *fully* determine the step sequence the next ``advance`` will
+        emit — it feeds the slider layer's plan cache, and an incomplete
+        key surfaces as a :class:`~repro.common.errors.CompileError` when
+        a replayed run diverges from its compiled template.
+
+        The default ``None`` declares the variant's plans data-dependent
+        (randomized coins hash leaf *content*; the strawman branches on
+        positional cache hits against content uids) and therefore
+        uncacheable.
+        """
+        return None
+
     # -- shared machinery ----------------------------------------------------
 
     def _level_span(self, tree: str, level: int):

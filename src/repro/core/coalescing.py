@@ -91,6 +91,11 @@ class CoalescingTree(ContractionTree):
     def root(self) -> Partition:
         return self._reduce_input
 
+    def plan_structure_key(self) -> tuple | None:
+        """The right spine has almost no structure: only the mode and an
+        unabsorbed delta steer which combines the next advance emits."""
+        return ("coal", self.split_mode, self._pending_delta is not None)
+
     # -- internals ---------------------------------------------------------
 
     def _absorb_pending(self, phase: Phase) -> None:

@@ -1,0 +1,84 @@
+"""The plan cache: compiled plans keyed by window-motion signature.
+
+A key is assembled by the slider layer from everything a run's plan shape
+is a function of: the engine config fingerprint, the job identity, the
+motion ``(len(added), removed)``, and every tree's
+``plan_structure_key()``.  Variants whose plans depend on window
+*content* (randomized coins, strawman positional reuse) return ``None``
+there and never enter the cache.
+
+Eviction is LRU.  The capacity must cover the steady-state motion period
+— a folding tree's ``(height, start, end)`` recurs with period ≈ the
+window size under a constant slide — or the cache thrashes; the default
+``SliderConfig.plan_cache_capacity`` is sized well above typical windows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.compile.compiler import CompiledPlan
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    #: Lookups skipped entirely: chaos active, cache disabled by config.
+    bypasses: int = 0
+    #: Lookups skipped because a tree declared its plans data-dependent.
+    uncacheable: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of keyed lookups that hit; 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "uncacheable": self.uncacheable,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """An LRU map from motion keys to compiled plans."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> CompiledPlan | None:
+        compiled = self._entries.get(key)
+        if compiled is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return compiled
+
+    def store(self, key: tuple, compiled: CompiledPlan) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -29,6 +29,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.common.errors import CompileError
+from repro.core.compile.compiler import CompiledPlan
+from repro.core.compile.kernels import fused_combine_partitions, kernel_for
 from repro.core.partition import Partition, combine_partitions
 from repro.core.plan import Plan
 from repro.core.poison import PoisonContext
@@ -50,6 +53,10 @@ class RunExecution:
     map_costs: dict[int, float] = field(default_factory=dict)
     #: Per-reducer work measured while that reducer's scope was open.
     reducer_costs: dict[int, float] = field(default_factory=dict)
+    #: The compiled plan the run replayed (None when planned fresh).
+    compiled: CompiledPlan | None = None
+    #: True when the run skipped replanning by replaying ``compiled``.
+    replayed: bool = False
 
     def reducer_cost_list(self, num_reducers: int) -> list[float]:
         return [self.reducer_costs.get(r, 0.0) for r in range(num_reducers)]
@@ -76,23 +83,59 @@ class PlanExecutor:
         self.poison: PoisonContext | None = None
         self._map_costs: dict[int, float] = {}
         self._reducer_costs: dict[int, float] = {}
+        #: Replay state: a plan-cache hit puts the executor in replay mode
+        #: — step emission is skipped (the compiled template already holds
+        #: the plan) and a cursor validates each executed op against it.
+        self._replay: CompiledPlan | None = None
+        self._replay_cursor = 0
 
     # -- run lifecycle -------------------------------------------------------
 
     @property
     def active(self) -> bool:
-        return self.plan is not None
+        return self.plan is not None or self._replay is not None
 
-    def begin_run(self, label: str = "") -> Plan:
-        """Open a run: a fresh plan plus a fresh task graph."""
-        self.plan = Plan(label=label)
+    def begin_run(
+        self, label: str = "", compiled: CompiledPlan | None = None
+    ) -> Plan:
+        """Open a run: a fresh plan plus a fresh task graph.
+
+        With ``compiled`` (a plan-cache hit), the run replays the compiled
+        template instead of assembling a plan: planners still drive
+        execution — values flow, memos resolve, work is charged exactly as
+        when planning fresh — but no steps are emitted, and combine steps
+        carrying a kernel hint dispatch through the vectorized batch path.
+        """
+        if compiled is not None:
+            self.plan = None
+            self._replay = compiled
+            self._replay_cursor = 0
+        else:
+            self.plan = Plan(label=label)
+            self._replay = None
         self.recorder.begin_run(label)
         self._map_costs = {}
         self._reducer_costs = {}
-        return self.plan
+        return self.plan if self.plan is not None else compiled.plan
 
     def end_run(self) -> RunExecution:
         """Close the run; returns the plan/graph pair plus measurements."""
+        compiled, self._replay = self._replay, None
+        if compiled is not None:
+            if self._replay_cursor != len(compiled.ops):
+                raise CompileError(
+                    f"replayed run ended after {self._replay_cursor} of "
+                    f"{len(compiled.ops)} compiled steps — the plan-cache "
+                    "key does not fully determine this run's structure"
+                )
+            return RunExecution(
+                plan=compiled.plan,
+                graph=self.recorder.end_run(),
+                map_costs=self._map_costs,
+                reducer_costs=self._reducer_costs,
+                compiled=compiled,
+                replayed=True,
+            )
         plan, self.plan = self.plan, None
         if plan is None:
             raise RuntimeError("end_run called with no open run")
@@ -103,6 +146,29 @@ class PlanExecutor:
             map_costs=self._map_costs,
             reducer_costs=self._reducer_costs,
         )
+
+    def _consume(self, op: str) -> bool:
+        """Advance the replay cursor past one executed step.
+
+        Validates that execution emits exactly the compiled template's op
+        sequence; returns the step's kernel hint.  A divergence means a
+        planner's ``plan_structure_key`` missed a piece of structural
+        state — fail loudly rather than execute against a stale template.
+        """
+        compiled = self._replay
+        cursor = self._replay_cursor
+        if cursor >= len(compiled.ops) or compiled.ops[cursor] != op:
+            expected = (
+                repr(compiled.ops[cursor])
+                if cursor < len(compiled.ops)
+                else "<end of plan>"
+            )
+            raise CompileError(
+                f"replayed plan diverged at step {cursor}: compiled "
+                f"template has {expected}, execution emitted {op!r}"
+            )
+        self._replay_cursor = cursor + 1
+        return compiled.kernel_hints[cursor]
 
     @contextmanager
     def reducer_scope(self, reducer: int):
@@ -129,8 +195,14 @@ class PlanExecutor:
     # -- planning-facing emission -------------------------------------------
 
     def plan_step(self, op: str, **kwargs) -> None:
-        """Emit a step into the open plan (no-op outside a run)."""
-        if self.plan is not None:
+        """Emit a step into the open plan (no-op outside a run).
+
+        In replay mode nothing is emitted — the compiled template is the
+        plan — but the step is still validated against the template.
+        """
+        if self._replay is not None:
+            self._consume(op)
+        elif self.plan is not None:
             self.plan.step(op, **kwargs)
 
     # -- sub-computation execution ------------------------------------------
@@ -152,7 +224,10 @@ class PlanExecutor:
         processing).  ``node`` names the sub-computation's position in
         the planner's level structure.
         """
-        if self.plan is not None:
+        use_kernel = False
+        if self._replay is not None:
+            use_kernel = self._consume("combine")
+        elif self.plan is not None:
             self.plan.step(
                 "combine",
                 label=node,
@@ -164,7 +239,7 @@ class PlanExecutor:
             )
         with self.meter.telemetry.span(node or "combine", SpanKind.TASK):
             return self._resolve_combine(
-                tree, parts, phase, memo_uid, cost_scale, node
+                tree, parts, phase, memo_uid, cost_scale, node, use_kernel
             )
 
     def _resolve_combine(  # analysis: charge-in-caller-span (combine's task span)
@@ -175,6 +250,7 @@ class PlanExecutor:
         memo_uid: int | None,
         cost_scale: float,
         node: str,
+        use_kernel: bool = False,
     ) -> Partition:
         recorder = self.recorder if self.recorder.active else None
         meter = self.meter
@@ -211,19 +287,37 @@ class PlanExecutor:
                 )
             return value
         before = meter.by_phase.get(phase, 0.0) if recorder else 0.0
-        result = combine_partitions(
-            parts,
-            tree.combiner,
-            meter=meter,
-            phase=phase,
-            cost_factor=tree.combine_cost_factor * cost_scale,
-            invocation_overhead=tree.invocation_overhead * cost_scale,
-            on_poison=(
-                self.poison.combine_handler(tree.combiner)
-                if self.poison is not None
-                else None
-            ),
+        # The compiled plan's kernel hint is bit-identity-safe by the
+        # kernel contract; poison handling stays on the scalar path.
+        kernel = (
+            kernel_for(tree.combiner)
+            if use_kernel and self.poison is None
+            else None
         )
+        if kernel is not None:
+            result = fused_combine_partitions(
+                parts,
+                tree.combiner,
+                kernel,
+                meter=meter,
+                phase=phase,
+                cost_factor=tree.combine_cost_factor * cost_scale,
+                invocation_overhead=tree.invocation_overhead * cost_scale,
+            )
+        else:
+            result = combine_partitions(
+                parts,
+                tree.combiner,
+                meter=meter,
+                phase=phase,
+                cost_factor=tree.combine_cost_factor * cost_scale,
+                invocation_overhead=tree.invocation_overhead * cost_scale,
+                on_poison=(
+                    self.poison.combine_handler(tree.combiner)
+                    if self.poison is not None
+                    else None
+                ),
+            )
         combine_node = None
         if recorder is not None:
             combine_node = recorder.combine(
@@ -252,7 +346,9 @@ class PlanExecutor:
     ) -> None:
         """Plan and charge a memoized result moving through the tree —
         the strawman's per-node visit cost on positional reuse."""
-        if self.plan is not None:
+        if self._replay is not None:
+            self._consume("visit")
+        elif self.plan is not None:
             self.plan.step(
                 "visit",
                 label=node,

@@ -77,6 +77,16 @@ class FoldingTree(ContractionTree):
             return leaf
         return self._cache.get((self._height, 0), Partition.empty())
 
+    def plan_structure_key(self) -> tuple | None:
+        """Plans are a pure function of ``(height, start, end)`` plus motion.
+
+        Dirty-leaf propagation, unfold/fold moves, and the rebuild check
+        all derive from the live index range and capacity (``2^height``);
+        under a constant slide this state recurs with period ≈ the window
+        size, which is what makes steady-state advances cache-hit.
+        """
+        return ("fold", self._height, self._start, self._end, self.rebuild_factor)
+
     # -- inspection ----------------------------------------------------------
 
     @property

@@ -9,31 +9,12 @@ distributed in-memory cache and its fault-tolerant replicas (§6).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.partition import Partition
 from repro.metrics import Phase, WorkMeter
 from repro.telemetry import Telemetry
-
-
-class _CallableRate(float):
-    """A float that tolerates the deprecated ``stats.hit_rate()`` call form.
-
-    ``MemoStats.hit_rate`` used to be a method while the cluster cache's
-    ``CacheStats.hit_rate`` was a property; both are properties now.  Old
-    call sites that still invoke the value get it back unchanged, plus a
-    DeprecationWarning.
-    """
-
-    def __call__(self) -> float:
-        warnings.warn(
-            "MemoStats.hit_rate is a property now; drop the call parentheses",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return float(self)
 
 
 @dataclass
@@ -50,7 +31,7 @@ class MemoStats:
     def hit_rate(self) -> float:
         """Fraction of lookups that hit; 0.0 before any lookup."""
         total = self.hits + self.misses
-        return _CallableRate(self.hits / total if total else 0.0)
+        return self.hits / total if total else 0.0
 
 
 @dataclass

@@ -36,6 +36,15 @@ PLAN_OPS = (
 )
 
 _LEVEL_RE = re.compile(r":L(\d+)\.")
+_HEX_ID_RE = re.compile(r"0x[0-9a-f]+")
+
+#: Fused-step kinds the compiler's fusion pass produces.
+FUSED_KINDS = (
+    "map-batch",    # a run of consecutive Map steps
+    "map-combine",  # a Map batch plus the combine consuming all its outputs
+    "combine-run",  # same-level consecutive combines for one reducer
+    "visit-run",    # consecutive strawman node visits
+)
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,66 @@ class PlanStep:
             self.cost_scale,
         )
 
+    def structural_signature(self) -> tuple:
+        """The step's identity with content ids masked out.
+
+        Map steps embed split content ids in their labels and memo uids, so
+        two structurally identical runs over different data differ in
+        :meth:`signature` but agree here: hex ids collapse to ``0x*`` and a
+        cache edge reduces to its presence.  This is the view the plan
+        cache's correctness contract is stated in.
+        """
+        return (
+            self.uid,
+            self.op,
+            _HEX_ID_RE.sub("0x*", self.label),
+            self.phase.value if self.phase is not None else None,
+            self.n_inputs,
+            self.memo_uid is not None,
+            self.reducer,
+            self.cost_scale,
+        )
+
+
+@dataclass(frozen=True)
+class FusedStep:
+    """A compile-time grouping of consecutive plan steps.
+
+    Fusion never rewrites the member steps — their signatures and counts
+    are preserved verbatim in ``steps`` — it only records that the group
+    may be dispatched as one batch.  ``level``/``reducer``/``phase`` are
+    the shared values all members agree on (``None`` where they vary, as
+    in a map-combine chain crossing the map → contraction boundary).
+    """
+
+    kind: str
+    start: int  # uid of the first member step
+    count: int
+    phase: Phase | None = None
+    reducer: int | None = None
+    level: int | None = None
+    #: Total partitions feeding the group (sum of member ``n_inputs``).
+    n_inputs: int = 0
+    steps: tuple[PlanStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FUSED_KINDS:
+            raise ValueError(f"unknown fused-step kind {self.kind!r}")
+
+    def counts_by_op(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for planned in self.steps:
+            counts[planned.op] = counts.get(planned.op, 0) + 1
+        return counts
+
+    def signature(self) -> tuple:
+        return (
+            self.kind,
+            self.start,
+            self.count,
+            tuple(planned.signature() for planned in self.steps),
+        )
+
 
 @dataclass
 class Plan:
@@ -94,6 +163,16 @@ class Plan:
 
     label: str = ""
     steps: list[PlanStep] = field(default_factory=list)
+    # Derived views below are cached per instance; ``step`` invalidates.
+    _signature: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _structural: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _counts: dict[str, int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def step(
         self,
@@ -118,6 +197,9 @@ class Plan:
             cost_scale=cost_scale,
         )
         self.steps.append(planned)
+        self._signature = None
+        self._structural = None
+        self._counts = None
         return planned
 
     # -- derived views -------------------------------------------------------
@@ -126,10 +208,12 @@ class Plan:
         return len(self.steps)
 
     def counts_by_op(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for planned in self.steps:
-            counts[planned.op] = counts.get(planned.op, 0) + 1
-        return counts
+        if self._counts is None:
+            counts: dict[str, int] = {}
+            for planned in self.steps:
+                counts[planned.op] = counts.get(planned.op, 0) + 1
+            self._counts = counts
+        return dict(self._counts)
 
     def cache_edge_count(self) -> int:
         """How many steps carry a plan-level cache edge."""
@@ -146,7 +230,24 @@ class Plan:
 
     def signature(self) -> tuple:
         """Order-sensitive identity of the whole plan."""
-        return tuple(planned.signature() for planned in self.steps)
+        if self._signature is None:
+            self._signature = tuple(
+                planned.signature() for planned in self.steps
+            )
+        return self._signature
+
+    def structural_signature(self) -> tuple:
+        """Order-sensitive identity with content ids masked out.
+
+        Two runs over different window contents but the same structural
+        state and motion agree here; see
+        :meth:`PlanStep.structural_signature`.
+        """
+        if self._structural is None:
+            self._structural = tuple(
+                planned.structural_signature() for planned in self.steps
+            )
+        return self._structural
 
     def shape(self) -> dict:
         """The golden-test view: counts, cache edges, level structure."""

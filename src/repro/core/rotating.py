@@ -126,6 +126,21 @@ class RotatingTree(ContractionTree):
     def num_buckets(self) -> int:
         return len(self._buckets)
 
+    def plan_structure_key(self) -> tuple | None:
+        """Rotation is positional: the victim slot and the split-processing
+        state (a pre-combined ``I`` for which slot, a deferred path fix)
+        fully determine the next advance's combine sequence."""
+        return (
+            "rot",
+            len(self._buckets),
+            self._height,
+            self._oldest,
+            self.bucket_size,
+            self.split_mode,
+            self._intermediate_slot if self._intermediate is not None else None,
+            self._pending[0] if self._pending is not None else None,
+        )
+
     # -- the slide ---------------------------------------------------------
 
     def _replace_oldest(self, chunk: list[Partition]) -> None:

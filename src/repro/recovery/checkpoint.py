@@ -150,7 +150,7 @@ def write_driver_checkpoint(driver: "StreamDriver", path: str | Path) -> Path:
             (batch.slide_index, batch.splits)
             for batch in driver._live_batches
         ],
-        "next_boundary": driver._next_boundary,
+        "boundary_index": driver._boundary_index,
         "slide_index": driver._slide_index,
         "ran_initial": driver._ran_initial,
         "slide": driver.slide,
@@ -190,7 +190,7 @@ def restore_driver(
         for slide_index, splits in stream["live_batches"]
     ]
     driver._pending = list(stream["pending"])
-    driver._next_boundary = stream["next_boundary"]
+    driver._boundary_index = stream["boundary_index"]
     driver._slide_index = stream["slide_index"]
     driver._ran_initial = stream["ran_initial"]
     driver.results = []

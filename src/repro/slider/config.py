@@ -1,15 +1,7 @@
-"""Slider configuration: tree variant, window mode, and time model.
-
-``record_graph`` is deprecated and ignored: since the plan/execute split
-the per-run plan *is* the run — every run reifies into a
-:class:`~repro.core.plan.Plan` plus an executed
-:class:`~repro.core.taskgraph.TaskGraph`, unconditionally.  Passing
-``record_graph=False`` warns and records anyway.
-"""
+"""Slider configuration: tree variant, window mode, and time model."""
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.core.poison import PoisonPolicy
@@ -47,8 +39,16 @@ class SliderConfig:
     auto_gc: bool = True
     #: How the time simulation replays a run's tasks on the cluster.
     time_model: str = "waves"
-    #: Deprecated: the per-run plan/graph IR is always recorded now.
-    record_graph: bool = True
+    #: Reuse compiled plans across structurally identical window advances
+    #: (replanning is skipped on a hit; outputs and work are bit-identical).
+    plan_cache: bool = True
+    #: Dispatch fused combine runs of replayed plans through the
+    #: vectorized batch kernels (numeric combiners only; scalar fallback).
+    plan_fusion: bool = True
+    #: Max compiled plans retained (LRU).  Must cover the steady-state
+    #: motion period — a folding tree's structural state recurs with
+    #: period ≈ the window size — or steady advances never re-hit.
+    plan_cache_capacity: int = 256
     #: Quarantine poison records/keys under this retry policy instead of
     #: failing the run; ``None`` propagates user-code exceptions unchanged.
     poison_policy: PoisonPolicy | None = None
@@ -71,14 +71,11 @@ class SliderConfig:
             raise ValueError(
                 f"memo_budget must be non-negative, got {self.memo_budget}"
             )
-        if not self.record_graph:
-            warnings.warn(
-                "SliderConfig(record_graph=False) is deprecated and ignored: "
-                "the plan/graph IR is the run now and is always recorded",
-                DeprecationWarning,
-                stacklevel=3,
+        if self.plan_cache_capacity < 1:
+            raise ValueError(
+                f"plan_cache_capacity must be positive, got "
+                f"{self.plan_cache_capacity}"
             )
-            object.__setattr__(self, "record_graph", True)
 
     def tree_variant(self) -> str:
         if self.tree != "auto":

@@ -79,7 +79,12 @@ class StreamDriver:
         #: Slide intervals currently inside the window, oldest first.
         self._live_batches: list[_SlideBatch] = []
         self._pending: list[Any] = []
-        self._next_boundary: float | None = None
+        # Boundary k sits at exactly ``k * slide``.  Tracking the integer
+        # index instead of accumulating ``boundary += slide`` keeps late
+        # boundaries free of float drift, so an event timestamped exactly
+        # on a boundary lands in the same slide no matter how many slides
+        # preceded it.
+        self._boundary_index: int | None = None
         self._slide_index = 0
         self._ran_initial = False
         self.results: list[SliderResult] = []
@@ -96,13 +101,13 @@ class StreamDriver:
         produced: list[SliderResult] = []
         for record in records:
             when = self.timestamp_fn(record)
-            if self._next_boundary is None:
-                self._next_boundary = (when // self.slide + 1) * self.slide
-            while when >= self._next_boundary:
+            if self._boundary_index is None:
+                self._boundary_index = int(when // self.slide) + 1
+            while when >= self._boundary_index * self.slide:
                 result = self._close_slide()
                 if result is not None:
                     produced.append(result)
-                self._next_boundary += self.slide
+                self._boundary_index += 1
             self._pending.append(record)
         return produced
 

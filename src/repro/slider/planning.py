@@ -1,4 +1,4 @@
-"""Run planning: map, contraction-tree, and reduce plan assembly.
+"""Run planning: the cache-aware front end over plan assembly.
 
 The :class:`RunPlanner` drives one window update's planning passes.  It
 owns no cross-run state — that lives on the :class:`~repro.slider.system.
@@ -6,6 +6,16 @@ Slider` facade — and it never computes a value itself: every step it (or
 a tree it drives) assembles is emitted into the run's
 :class:`~repro.core.plan.Plan` and resolved by the engine's shared
 :class:`~repro.core.execute.PlanExecutor`.
+
+Since the plan-compile layer, the planner is also the plan cache's front
+end: :meth:`RunPlanner.begin_run` keys the upcoming advance by (config
+fingerprint, job identity, window motion, per-tree structure key) and on
+a hit opens the executor in *replay* mode — trees still drive execution,
+but step emission (the replanning work) is skipped and fused combines
+dispatch through the batch kernels.  On a miss the freshly planned run is
+compiled and stored by :meth:`RunPlanner.finish_run`.  Chaos bypasses the
+cache, and the data-dependent variants (randomized, strawman) never enter
+it — their ``plan_structure_key`` is ``None``.
 
 * **Map plan** — one ``map`` step per split in the update; the split uid
   is the step's plan-level cache edge.  Execution resolves it against the
@@ -23,8 +33,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
+import dataclasses
+
 from repro.common.errors import CombinerContractError
 from repro.core.base import ContractionTree
+from repro.core.compile import CompiledPlan, compile_plan
 from repro.core.coalescing import CoalescingTree
 from repro.core.folding import FoldingTree
 from repro.core.memo import MemoTable
@@ -46,6 +59,88 @@ class RunPlanner:
 
     def __init__(self, engine: "Slider") -> None:
         self.engine = engine
+        #: Key the in-flight run's fresh plan will be stored under (None
+        #: when the run is uncacheable, bypassed, or replaying a hit).
+        self._pending_key: tuple | None = None
+
+    # -- the plan-cache front end -------------------------------------------
+
+    def begin_run(
+        self, label: str, added: Sequence[Split], removed: int
+    ) -> CompiledPlan | None:
+        """Open an advance on the executor, replaying a cached plan if the
+        motion key hits.  Must be called *before* any tree state mutates —
+        the key captures the pre-advance structure."""
+        engine = self.engine
+        key = self._plan_key(added, removed)
+        compiled = None
+        if key is not None:
+            compiled = engine.plan_cache.lookup(key)
+            if compiled is not None:
+                engine.telemetry.count("plan_cache.hits")
+                engine.telemetry.count(
+                    "plan_cache.steps_replayed", len(compiled)
+                )
+            else:
+                engine.telemetry.count("plan_cache.misses")
+        self._pending_key = key if compiled is None else None
+        engine.executor.begin_run(label, compiled=compiled)
+        return compiled
+
+    def finish_run(self, plan) -> CompiledPlan | None:
+        """Compile and store the run planned fresh under the pending key."""
+        engine = self.engine
+        key, self._pending_key = self._pending_key, None
+        if key is None:
+            return None
+        with engine.telemetry.span("compile", SpanKind.PHASE):
+            compiled = compile_plan(
+                plan,
+                engine.job.combiner,
+                fusion=engine.config.plan_fusion,
+            )
+            engine.plan_cache.store(key, compiled)
+            engine.telemetry.count(
+                "compile.fused_groups", len(compiled.fused)
+            )
+            engine.telemetry.count(
+                "compile.batched_steps", compiled.batched_step_count()
+            )
+        return compiled
+
+    def _plan_key(self, added: Sequence[Split], removed: int) -> tuple | None:
+        engine = self.engine
+        config = engine.config
+        if not config.plan_cache:
+            return None
+        if self._chaos_active():
+            engine.telemetry.count("plan_cache.bypasses")
+            engine.plan_cache.stats.bypasses += 1
+            return None
+        structure = []
+        for tree in engine.trees:
+            tree_key = tree.plan_structure_key()
+            if tree_key is None:
+                engine.telemetry.count("plan_cache.uncacheable")
+                engine.plan_cache.stats.uncacheable += 1
+                return None
+            structure.append(tree_key)
+        return (
+            "advance",
+            len(added),
+            removed,
+            _config_key(config),
+            _job_key(engine.job),
+            tuple(structure),
+        )
+
+    def _chaos_active(self) -> bool:
+        """Any fault schedule for this run bypasses the cache: chaos paths
+        may branch execution in ways the compiled template cannot see."""
+        chaos = self.engine.chaos
+        if chaos is None:
+            return False
+        return chaos.for_run(self.engine.run_index) is not None
 
     # -- tree assembly -------------------------------------------------------
 
@@ -248,3 +343,24 @@ class RunPlanner:
                         root, unchanged, cost=unchanged * read_cost
                     )
         return outputs, frozenset(changed_keys), frozenset(removed_keys)
+
+
+def _config_key(config) -> tuple:
+    """A stable fingerprint over *every* config field: any SliderConfig
+    change must miss the plan cache, even fields that happen not to steer
+    planning today."""
+    return tuple(
+        (field.name, repr(getattr(config, field.name)))
+        for field in dataclasses.fields(config)
+    )
+
+
+def _job_key(job) -> tuple:
+    """Job identity for the plan-cache key: a different job (name, fan-out,
+    cost model, or combiner type) never shares compiled plans."""
+    return (
+        job.name,
+        job.num_reducers,
+        type(job.combiner).__qualname__,
+        repr(job.costs),
+    )

@@ -33,6 +33,7 @@ from repro.cluster.machine import Cluster
 from repro.cluster.scheduler import HybridScheduler, Scheduler
 from repro.common.errors import WindowError
 from repro.core.base import ContractionTree
+from repro.core.compile import CompiledPlan, PlanCache
 from repro.core.execute import PlanExecutor, RunExecution
 from repro.core.partition import Partition
 from repro.core.poison import DeadLetterQueue, PoisonContext
@@ -79,6 +80,12 @@ class SliderResult:
     graph: TaskGraph | None = None
     #: The run's plan: the memo-independent step sequence that was executed.
     plan: Plan | None = None
+    #: The compiled form of the plan (fused groups + kernel hints); set
+    #: whenever the compile layer engaged — on a plan-cache hit this is the
+    #: replayed template, on a cacheable miss the freshly compiled store.
+    compiled: CompiledPlan | None = None
+    #: True when this run replayed a cached plan (replanning was skipped).
+    plan_cache_hit: bool = False
     #: Poison records/keys quarantined during this run (empty unless the
     #: engine was configured with a poison policy and user code raised).
     dead_letters: tuple = ()
@@ -151,6 +158,9 @@ class Slider:
         self.reduce_memo: list[dict[Any, tuple[Any, Any]]] = [
             {} for _ in range(job.num_reducers)
         ]
+        #: Compiled plans keyed by window-motion signature; steady-state
+        #: advances replay out of here instead of replanning.
+        self.plan_cache = PlanCache(capacity=self.config.plan_cache_capacity)
         self.planner = RunPlanner(self)
         self.timing = TimeSimulator(self)
         self.lifecycle = LifecycleManager(self)
@@ -210,7 +220,11 @@ class Slider:
             self.lifecycle.inject_corruption()
             if self.executor.poison is not None:
                 self.executor.poison.context = f"incremental-{self.run_index}"
-            self.executor.begin_run(f"incremental-{self.run_index}")
+            # The cache-aware front end: keys the advance off pre-mutation
+            # tree structure; a hit opens the executor in replay mode.
+            self.planner.begin_run(
+                f"incremental-{self.run_index}", added, removed
+            )
             with self.telemetry.span("map", SpanKind.PHASE):
                 reused = self.planner.run_maps(added)
             self.window.drop_front(removed)
@@ -279,6 +293,11 @@ class Slider:
     ) -> SliderResult:
         phase_delta = self._phase_delta(phase_before)
         run: RunExecution = self.executor.end_run()
+        compiled = run.compiled
+        if compiled is None:
+            # A cacheable fresh advance compiles + stores here; initial
+            # runs and uncacheable runs are a no-op (no pending key).
+            compiled = self.planner.finish_run(run.plan)
         work = sum(
             amount
             for phase, amount in phase_delta.items()
@@ -305,6 +324,8 @@ class Slider:
             removed_keys=self._last_removed_keys,
             graph=run.graph,
             plan=run.plan,
+            compiled=compiled,
+            plan_cache_hit=run.replayed,
             dead_letters=(
                 self.dead_letters.drain()
                 if self.dead_letters is not None

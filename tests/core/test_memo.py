@@ -1,7 +1,5 @@
 """Unit tests for the memo table."""
 
-import pytest
-
 from repro.core.memo import MemoTable
 from repro.core.partition import Partition
 from repro.metrics import Phase, WorkMeter
@@ -71,13 +69,13 @@ def test_hit_rate():
     assert MemoTable().stats.hit_rate == 0.0
 
 
-def test_hit_rate_call_form_deprecated_but_working():
-    # the pre-unification method form still answers, with a warning
+def test_hit_rate_is_a_plain_float():
+    # the deprecated callable-float shim is gone
     table = MemoTable()
     table.store(1, Partition({"k": 1}))
     table.lookup(1)
-    with pytest.warns(DeprecationWarning, match="property"):
-        assert table.stats.hit_rate() == 1.0
+    assert type(table.stats.hit_rate) is float
+    assert not callable(table.stats.hit_rate)
 
 
 def _corrupted(value: Partition) -> Partition:

@@ -25,12 +25,20 @@ def count_job() -> MapReduceJob:
     )
 
 
-def reference_counts(events, slide, slides_per_window, boundary):
-    """Brute force: counts over events in the window ending at ``boundary``."""
+def reference_counts(events, slide, slides_per_window, boundary_index):
+    """Brute force: counts over events in the window ending at boundary
+    ``boundary_index * slide``.
+
+    Both window edges are computed as direct multiples of ``slide``.
+    Deriving the start by subtraction (``boundary - slides * slide``) can
+    land one ulp away from ``k * slide`` and silently exclude an event
+    timestamped exactly on a slide boundary.
+    """
+    boundary = boundary_index * slide
     if slides_per_window is None:
         window_start = -math.inf
     else:
-        window_start = boundary - slides_per_window * slide
+        window_start = (boundary_index - slides_per_window) * slide
     counts: dict[str, int] = {}
     for when, key in events:
         if window_start <= when < boundary:
@@ -69,16 +77,11 @@ def test_driver_matches_reference(gaps, keys, slide, window_slides, split_size):
         events.append((t, key))
 
     produced = driver.feed(events)
+    first_index = int(events[0][0] // slide)
     for result in produced:
-        boundary = (result.run_index + 1) * slide + _first_boundary_offset(
-            events, slide
-        )
-        expected = reference_counts(events, slide, window_slides, boundary)
+        boundary_index = first_index + 1 + result.run_index
+        expected = reference_counts(events, slide, window_slides, boundary_index)
         assert result.outputs == expected, (
-            f"slide={slide} window={window} boundary={boundary}"
+            f"slide={slide} window={window} "
+            f"boundary={boundary_index * slide}"
         )
-
-
-def _first_boundary_offset(events, slide):
-    first = events[0][0]
-    return (first // slide) * slide

@@ -141,13 +141,12 @@ def test_background_work_not_recorded():
         assert_graph_matches_meter(result)
 
 
-def test_record_graph_off_is_deprecated_and_ignored():
-    """The plan/graph IR is the run now: disabling recording warns and
-    records anyway, so every result still carries its graph and plan."""
-    with pytest.warns(DeprecationWarning, match="record_graph"):
-        config = SliderConfig(mode=WindowMode.VARIABLE, record_graph=False)
-    assert config.record_graph is True
-    slider = Slider(count_job(), WindowMode.VARIABLE, config=config)
+def test_record_graph_shim_is_gone():
+    """The deprecation window elapsed: the plan/graph IR is the run, and
+    SliderConfig no longer carries the dead knob at all."""
+    with pytest.raises(TypeError, match="record_graph"):
+        SliderConfig(mode=WindowMode.VARIABLE, record_graph=False)
+    slider = Slider(count_job(), WindowMode.VARIABLE)
     result = slider.initial_run([split_of(0)])
     assert result.graph is not None
     assert result.plan is not None
@@ -156,29 +155,8 @@ def test_record_graph_off_is_deprecated_and_ignored():
     assert result.plan is not None
 
 
-def test_recording_does_not_perturb_work():
-    """The deprecated record_graph kwarg changes nothing: run-for-run work
-    and outputs are identical either way it is spelled."""
-    on = make_slider("folding", WindowMode.VARIABLE, record_graph=True)
-    with pytest.warns(DeprecationWarning, match="record_graph"):
-        off = make_slider("folding", WindowMode.VARIABLE, record_graph=False)
-    r_on = on.initial_run([split_of(i) for i in range(5)])
-    r_off = off.initial_run([split_of(i) for i in range(5)])
-    assert r_on.report.work == r_off.report.work
-    assert r_on.report.breakdown == r_off.report.breakdown
-    assert r_on.outputs == r_off.outputs
-    r_on = on.advance([split_of(8)], 2)
-    r_off = off.advance([split_of(8)], 2)
-    assert r_on.report.work == r_off.report.work
-    assert r_on.report.breakdown == r_off.report.breakdown
-    assert r_on.outputs == r_off.outputs
-
-
-def test_dag_no_longer_requires_record_graph():
-    """The old coupling error is gone: dag replay always has a graph."""
-    with pytest.warns(DeprecationWarning, match="record_graph"):
-        config = SliderConfig(time_model="dag", record_graph=False)
-    assert config.record_graph is True
+def test_dag_time_model_validates():
+    SliderConfig(time_model="dag")
     with pytest.raises(ValueError, match="time model"):
         SliderConfig(time_model="warp")
 
@@ -212,17 +190,14 @@ class TestDagTimeModel:
         slider.verify_outputs()
 
     def test_waves_default_unchanged_by_dag_availability(self):
-        """The legacy two-wave replay is byte-identical whether or not a
-        graph was recorded alongside it."""
+        """The legacy two-wave replay is byte-identical across two
+        identically configured engines (graphs are always recorded)."""
         recorded = make_slider(
-            "folding", WindowMode.VARIABLE,
-            cluster=self.quiet_cluster(), record_graph=True,
+            "folding", WindowMode.VARIABLE, cluster=self.quiet_cluster()
         )
-        with pytest.warns(DeprecationWarning, match="record_graph"):
-            bare = make_slider(
-                "folding", WindowMode.VARIABLE,
-                cluster=self.quiet_cluster(), record_graph=False,
-            )
+        bare = make_slider(
+            "folding", WindowMode.VARIABLE, cluster=self.quiet_cluster()
+        )
         for slider in (recorded, bare):
             slider.initial_run([split_of(i) for i in range(6)])
         r1 = recorded.advance([split_of(10)], 1)
