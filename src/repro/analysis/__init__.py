@@ -14,12 +14,39 @@ those contracts instead of trusting them:
   combiner's declared algebra (associativity, commutativity, merge
   determinism, cost sanity);
 * :mod:`repro.analysis.repolint` — repo-internal telemetry hygiene rules;
+* :mod:`repro.analysis.effects` — interprocedural read/write-set
+  inference over job functions (the parallel-safety effect summaries);
+* :mod:`repro.analysis.races` — happens-before race detection over the
+  plan IR, plus the static fusion-legality proof obligations;
+* :mod:`repro.analysis.shared` — the serializability audit and the
+  per-variant parallel-safety certificates;
+* :mod:`repro.analysis.dynamic` — the vector-clock cross-check that
+  validates the static race verdicts against actual execution;
+* :mod:`repro.analysis.trustaudit` — the stale-trust audit over every
+  ``@trusted`` mark;
+* :mod:`repro.analysis.sarif` — deterministic SARIF 2.1.0 export;
 * ``python -m repro.analysis`` — the CLI gluing all of it together, run
   as a blocking CI gate over the repo (``--self``) and available for user
   modules before a Slider accepts their jobs.
 """
 
-from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.dynamic import DynamicRaceRecorder
+from repro.analysis.effects import (
+    EffectSummary,
+    effect_findings,
+    infer_effects,
+    summarize_functions,
+)
+from repro.analysis.findings import AnalysisReport, Finding, finalize
+from repro.analysis.races import analyze_compiled, analyze_plan, check_fused
+from repro.analysis.sarif import to_sarif, write_sarif
+from repro.analysis.shared import (
+    ParallelSafetyCertificate,
+    audit_value,
+    certify_all,
+    certify_variant,
+)
+from repro.analysis.trustaudit import TrustEntry, audit_trusted
 from repro.analysis.laws import (
     check_combiner_laws,
     leaf_strategy_for,
@@ -40,7 +67,24 @@ from repro.analysis.targets import (
 
 __all__ = [
     "AnalysisReport",
+    "DynamicRaceRecorder",
+    "EffectSummary",
     "Finding",
+    "ParallelSafetyCertificate",
+    "TrustEntry",
+    "analyze_compiled",
+    "analyze_plan",
+    "audit_trusted",
+    "audit_value",
+    "certify_all",
+    "certify_variant",
+    "check_fused",
+    "effect_findings",
+    "finalize",
+    "infer_effects",
+    "summarize_functions",
+    "to_sarif",
+    "write_sarif",
     "check_combiner_laws",
     "leaf_strategy_for",
     "register_leaf_strategy",

@@ -3,23 +3,31 @@
 Modes:
 
 * ``--self`` — check the repo itself: repo-internal lint rules over
-  ``src/repro``, then purity + algebraic laws over the shipped corpus
-  (micro-benchmarks, case studies, query aggregates).  This is the
+  ``src/repro``, then purity + algebraic laws + effect inference over
+  the shipped corpus (micro-benchmarks, case studies, query aggregates),
+  the stale-trust audit, and the parallel-safety certification of all
+  five tree variants (race detection + shared-state audit).  This is the
   blocking CI gate.
 * ``MODULE ...`` — import each named module and check every job,
   combiner, and aggregation found in it — the entry point for user
   workloads before handing them to a long-lived Slider.
 
-Exit status is nonzero when any error-severity finding is recorded.
+Output is deterministic (findings deduplicated, sorted by location and
+rule); ``--sarif PATH`` additionally exports a SARIF 2.1.0 log and
+``--certificates DIR`` writes one machine-readable parallel-safety
+certificate per variant.  Exit status is nonzero when any error-severity
+finding is recorded.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 from pathlib import Path
 
+from repro.analysis.effects import effect_findings
 from repro.analysis.findings import AnalysisReport
 from repro.analysis.repolint import lint_package
 from repro.analysis.targets import (
@@ -29,6 +37,10 @@ from repro.analysis.targets import (
     registry_targets,
 )
 
+#: Resources the shipped job plane may legitimately touch: memo tables
+#: (the kernels' job) and telemetry (commutative counters/charges).
+_ALLOWED_EFFECTS = frozenset({"memo", "telemetry"})
+
 
 def _check_targets(
     targets: list[CheckTarget],
@@ -36,6 +48,7 @@ def _check_targets(
     *,
     run_purity: bool,
     run_laws: bool,
+    run_effects: bool,
     max_examples: int,
 ) -> None:
     for target in targets:
@@ -46,6 +59,55 @@ def _check_targets(
             check_laws=run_laws,
             max_examples=max_examples,
         )
+        if run_effects:
+            report.extend(
+                effect_findings(target.functions, allowed=_ALLOWED_EFFECTS)
+            )
+
+
+def _certify(
+    report: AnalysisReport,
+    out_dir: str | None,
+    *,
+    run_races: bool = True,
+    run_shared: bool = True,
+) -> None:
+    """Run the per-variant parallel-safety certification; optionally write
+    the machine-readable certificates to ``out_dir``."""
+    from repro.analysis.shared import certificate_findings, certify_all
+
+    certificates = certify_all(run_races=run_races, run_shared=run_shared)
+    report.extend(certificate_findings(certificates))
+    for cert in certificates:
+        print(
+            f"certificate: {cert.variant}/{cert.mode} -> {cert.verdict} "
+            f"({cert.runs} runs, {cert.steps_analyzed} steps, "
+            f"{cert.values_audited} values, "
+            f"{cert.benign_races} benign memo race(s))"
+        )
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for cert in certificates:
+            path = out / f"{cert.variant}.json"
+            path.write_text(
+                json.dumps(cert.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+
+
+def _audit_trust(report: AnalysisReport) -> None:
+    """Audit every @trusted mark in the shipped corpus; print the table."""
+    from repro.analysis.trustaudit import audit_trusted, render_table
+
+    functions = [
+        (f"{target.name}:{role}", fn)
+        for target in registry_targets()
+        for role, fn in target.functions
+    ]
+    entries, findings = audit_trusted(functions)
+    report.extend(findings)
+    print(render_table(entries))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,6 +143,33 @@ def main(argv: list[str] | None = None) -> int:
         "--no-lint", action="store_true", help="skip repo lint rules (--self)"
     )
     parser.add_argument(
+        "--no-effects",
+        action="store_true",
+        help="skip effect inference over job functions",
+    )
+    parser.add_argument(
+        "--no-races",
+        action="store_true",
+        help="skip plan-level race detection (part of certification)",
+    )
+    parser.add_argument(
+        "--no-shared",
+        action="store_true",
+        help="skip shared-state certification of the tree variants (--self)",
+    )
+    parser.add_argument(
+        "--certificates",
+        metavar="DIR",
+        default=None,
+        help="write per-variant parallel-safety certificates as JSON",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="export the findings as a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="also print non-errors"
     )
     args = parser.parse_args(argv)
@@ -91,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
     report = AnalysisReport()
     run_purity = not args.no_purity
     run_laws = not args.no_laws
+    run_effects = not args.no_effects
 
     if args.check_self:
         if not args.no_lint:
@@ -103,8 +193,17 @@ def main(argv: list[str] | None = None) -> int:
             report,
             run_purity=run_purity,
             run_laws=run_laws,
+            run_effects=run_effects,
             max_examples=args.max_examples,
         )
+        _audit_trust(report)
+        if not (args.no_shared and args.no_races):
+            _certify(
+                report,
+                args.certificates,
+                run_races=not args.no_races,
+                run_shared=not args.no_shared,
+            )
 
     for module_name in args.modules:
         try:
@@ -120,8 +219,13 @@ def main(argv: list[str] | None = None) -> int:
             report,
             run_purity=run_purity,
             run_laws=run_laws,
+            run_effects=run_effects,
             max_examples=args.max_examples,
         )
 
+    if args.sarif is not None:
+        from repro.analysis.sarif import write_sarif
+
+        write_sarif(report.finalized(), args.sarif)
     print(report.render(verbose=args.verbose))
     return 0 if report.ok else 1

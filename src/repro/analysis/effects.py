@@ -1,0 +1,486 @@
+"""Interprocedural effect inference: read/write sets for every callable.
+
+The purity checker answers a boolean question — *is this function safe to
+memoize?* — but the multi-process leg of the roadmap needs a finer one:
+*which shared resources does this callable touch, and how?*  This module
+infers an :class:`EffectSummary` per callable: the set of resources it
+reads and the set it writes, classified into a small taxonomy:
+
+``global:<module>.<name>``
+    a module-level binding (read of a mutable global, any global write);
+``closure:<name>``
+    a closure cell (``nonlocal`` writes, reads of mutable captured state);
+``arg:<name>``
+    caller-owned state reached through an argument (stores, mutating
+    method calls) — already a purity error, restated as an effect;
+``memo``
+    memo-table state (``lookup``/``store``/``discard``/... on a receiver
+    that names a memo or cache);
+``telemetry``
+    span/counter state (``count``/``instant``/``charge``/``span`` calls)
+    — commutative accumulators, benign under parallel execution;
+``io``
+    the external world (files, sockets, processes, console).
+
+Inference walks the function's AST with the same source-extraction and
+environment-resolution machinery as :mod:`repro.analysis.purity`, then
+propagates effects bottom-up through plain-Python helper calls with the
+same bounded recursion (:data:`~repro.analysis.purity.MAX_HELPER_DEPTH`)
+— a callable's summary is the union of its own accesses and its callees'.
+``@trusted`` functions summarize as effect-free (the human audit covers
+their effects too), recorded with the trust reason.
+
+:func:`effect_findings` turns summaries into blocking findings for the
+job plane: a Map/Reduce/Combine function that writes a global, a closure
+cell, or the external world cannot run on worker processes — each worker
+would mutate a private copy and the runs would diverge.  Resources in
+``allowed`` (the runtime's own dispatch paths legitimately charge
+telemetry and touch memo tables) are exempted per call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import types
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.analysis.findings import ERROR, INFO, Finding
+from repro.analysis.purity import (
+    MAX_HELPER_DEPTH,
+    _environment,
+    _param_names,
+    _source_node,
+    _unwrap,
+    is_trusted,
+)
+from repro.analysis.purity_rules import (
+    _ALLOWED_MODULE_PREFIXES,
+    _IO_MODULES,
+    _MUTATING_METHODS,
+    _root_param,
+)
+
+READ = "read"
+WRITE = "write"
+
+#: Method names that read memo-table state.
+_MEMO_READ_METHODS = frozenset({"lookup", "get", "__contains__", "space"})
+#: Method names that write memo-table state.
+_MEMO_WRITE_METHODS = frozenset(
+    {"store", "discard", "taint", "retain_only", "put", "delete"}
+)
+#: Method names that both read and write memo-table state.
+_MEMO_RW_METHODS = frozenset({"get_or_compute", "setdefault", "pop"})
+#: Receiver-name fragments that identify a memo/cache table.
+_MEMO_RECEIVER_HINTS = ("memo", "cache")
+
+#: Method names that write telemetry state (commutative accumulators).
+_TELEMETRY_METHODS = frozenset({"count", "instant", "charge", "span"})
+
+#: Builtin callables that touch the external world.
+_IO_BUILTINS = frozenset({"open", "print", "input"})
+
+#: Values whose module-level read is effect-free (immutable or code).
+_IMMUTABLE_TYPES = (
+    type(None), bool, int, float, complex, str, bytes, tuple, frozenset,
+    types.FunctionType, types.BuiltinFunctionType, type, types.ModuleType,
+)
+
+
+@dataclass(frozen=True)
+class Access:
+    """One resource touch: what, how, and where."""
+
+    resource: str
+    mode: str
+    line: int | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """The inferred read/write sets of one callable (plus its helpers)."""
+
+    name: str
+    reads: frozenset = frozenset()
+    writes: frozenset = frozenset()
+    accesses: tuple = ()
+    trusted: str | None = None
+    unanalyzable: bool = False
+
+    @property
+    def effect_free(self) -> bool:
+        """True when the callable writes nothing observable."""
+        return not self.writes
+
+    def conflicts_with(self, other: "EffectSummary") -> frozenset:
+        """Resources on which the two summaries race (>= one side writes)."""
+        return frozenset(
+            (self.writes & (other.reads | other.writes))
+            | (other.writes & self.reads)
+        )
+
+
+def _is_memo_receiver(node: ast.expr) -> bool:
+    """Heuristic: the receiver lexically names a memo table or cache."""
+    names: list[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        names.append(node.id)
+    return any(
+        hint in name.lower() for name in names for hint in _MEMO_RECEIVER_HINTS
+    )
+
+
+def _local_names(node: ast.AST) -> set[str]:
+    """Names bound locally (assignments, for targets, with-as, walrus)."""
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+            names.add(child.id)
+        elif isinstance(child, ast.NamedExpr) and isinstance(
+            child.target, ast.Name
+        ):
+            names.add(child.target.id)
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(child.name)
+        elif isinstance(child, ast.Import):
+            for alias in child.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(child, ast.ImportFrom):
+            for alias in child.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Collects the accesses of one function body."""
+
+    def __init__(
+        self,
+        params: set[str],
+        env: dict[str, Any],
+        local_names: set[str],
+        line_offset: int,
+        module: str,
+    ) -> None:
+        self.params = params
+        self.env = env
+        self.locals = local_names
+        self.line_offset = line_offset
+        self.module = module
+        self.accesses: list[Access] = []
+        #: Plain-Python helpers called, queued for bounded recursion.
+        self.helpers: list[types.FunctionType] = []
+
+    # -- helpers ---------------------------------------------------------
+
+    def _add(self, node: ast.AST, resource: str, mode: str, detail: str = "") -> None:
+        line = getattr(node, "lineno", None)
+        self.accesses.append(
+            Access(
+                resource=resource,
+                mode=mode,
+                line=None if line is None else line + self.line_offset,
+                detail=detail,
+            )
+        )
+
+    def _global_resource(self, name: str) -> str:
+        return f"global:{self.module}.{name}"
+
+    def _classify_name_root(self, name: str) -> str | None:
+        """The resource a free name refers to, or None for locals/params."""
+        if name in self.params or name in self.locals:
+            return None
+        if name not in self.env:
+            return None
+        return self._global_resource(name)
+
+    # -- statements ------------------------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self._add(
+                node, self._global_resource(name), WRITE,
+                detail=f"global {name}",
+            )
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        for name in node.names:
+            self._add(node, f"closure:{name}", WRITE, detail=f"nonlocal {name}")
+
+    def _store_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store_target(element)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        root = _root_param(target)
+        if root is None:
+            return
+        if root in self.params:
+            self._add(target, f"arg:{root}", WRITE, detail="store into argument")
+        elif root not in self.locals and root in self.env:
+            self._add(
+                target, self._global_resource(root), WRITE,
+                detail="store into module global",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._store_target(target)
+        self.generic_visit(node)
+
+    # -- reads -----------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        resource = self._classify_name_root(node.id)
+        if resource is None:
+            return
+        value = self.env.get(node.id)
+        if isinstance(value, _IMMUTABLE_TYPES):
+            return  # constants and code objects: effect-free reads
+        self._add(node, resource, READ, detail=f"reads module global {node.id}")
+
+    # -- calls -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call(node)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self._check_plain_call(node, func)
+            return
+        if isinstance(func, ast.Attribute):
+            self._check_method_call(node, func)
+
+    def _check_plain_call(self, node: ast.Call, func: ast.Name) -> None:
+        if func.id in _IO_BUILTINS and func.id not in self.locals:
+            self._add(node, "io", WRITE, detail=f"calls {func.id}()")
+            return
+        value = self.env.get(func.id)
+        if isinstance(value, types.FunctionType):
+            module = getattr(value, "__module__", "") or ""
+            if not module.startswith(_ALLOWED_MODULE_PREFIXES):
+                self.helpers.append(value)
+
+    def _check_method_call(self, node: ast.Call, func: ast.Attribute) -> None:
+        method = func.attr
+        receiver = func.value
+        root = _root_param(receiver)
+        # Memo-table state, by method-name + receiver-name heuristics.
+        if _is_memo_receiver(func):
+            if method in _MEMO_READ_METHODS:
+                self._add(node, "memo", READ, detail=f".{method}() on memo")
+                return
+            if method in _MEMO_WRITE_METHODS:
+                self._add(node, "memo", WRITE, detail=f".{method}() on memo")
+                return
+            if method in _MEMO_RW_METHODS:
+                self._add(node, "memo", READ, detail=f".{method}() on memo")
+                self._add(node, "memo", WRITE, detail=f".{method}() on memo")
+                return
+        # Telemetry accumulators.
+        if method in _TELEMETRY_METHODS:
+            self._add(node, "telemetry", WRITE, detail=f".{method}()")
+            return
+        # I/O through a module (os.*, subprocess.*, socket.*, ...).
+        owner = self.env.get(root) if root is not None else None
+        if isinstance(owner, types.ModuleType):
+            owner_name = owner.__name__
+            if owner_name == "os" or any(
+                owner_name == m or owner_name.startswith(m + ".")
+                for m in _IO_MODULES
+            ):
+                self._add(
+                    node, "io", WRITE, detail=f"calls {owner_name}.{method}"
+                )
+                return
+            # Calls into modules (pure stdlib helpers) carry no effect.
+            return
+        # In-place mutation of an argument or a module global.
+        if method in _MUTATING_METHODS and root is not None:
+            if root in self.params:
+                self._add(
+                    node, f"arg:{root}", WRITE,
+                    detail=f"mutating .{method}() on argument",
+                )
+            elif root not in self.locals and root in self.env:
+                self._add(
+                    node, self._global_resource(root), WRITE,
+                    detail=f"mutating .{method}() on module global",
+                )
+
+
+# ---------------------------------------------------------------------------
+# entry points
+
+
+def infer_effects(
+    fn: Callable,
+    *,
+    role: str = "function",
+    _depth: int = 0,
+    _seen: set[int] | None = None,
+) -> EffectSummary:
+    """Infer the effect summary of ``fn`` (and its plain-Python helpers)."""
+    seen = _seen if _seen is not None else set()
+    fn = _unwrap(fn)
+    where = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', fn)}"
+    if role != "function":
+        where = f"{where} [{role}]"
+
+    reason = is_trusted(fn)
+    if reason is not None:
+        return EffectSummary(name=where, trusted=reason)
+
+    if not isinstance(fn, types.FunctionType):
+        # Builtins / C extensions: nothing to parse; treated as effect-free
+        # (known-bad builtins are caught at their call sites).
+        return EffectSummary(name=where)
+
+    code_id = id(fn.__code__)
+    if code_id in seen:
+        return EffectSummary(name=where)
+    seen.add(code_id)
+
+    try:
+        node, _filename, offset = _source_node(fn)
+    except (OSError, TypeError, SyntaxError):
+        return EffectSummary(name=where, unanalyzable=True)
+    if node is None:
+        return EffectSummary(name=where, unanalyzable=True)
+
+    visitor = _EffectVisitor(
+        params=_param_names(node),
+        env=_environment(fn),
+        local_names=_local_names(node),
+        line_offset=offset,
+        module=getattr(fn, "__module__", "?") or "?",
+    )
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for statement in body:
+        visitor.visit(statement)
+
+    accesses = list(visitor.accesses)
+    unanalyzable = False
+    if _depth < MAX_HELPER_DEPTH:
+        for helper in visitor.helpers:
+            child = infer_effects(
+                helper,
+                role=f"helper of {getattr(fn, '__qualname__', fn)}",
+                _depth=_depth + 1,
+                _seen=seen,
+            )
+            unanalyzable = unanalyzable or child.unanalyzable
+            accesses.extend(child.accesses)
+
+    return EffectSummary(
+        name=where,
+        reads=frozenset(a.resource for a in accesses if a.mode == READ),
+        writes=frozenset(a.resource for a in accesses if a.mode == WRITE),
+        accesses=tuple(accesses),
+        unanalyzable=unanalyzable,
+    )
+
+
+def summarize_functions(
+    functions: Iterable[tuple[str, Callable]],
+) -> dict[str, EffectSummary]:
+    """Effect summaries for a batch of (role, callable) pairs."""
+    return {role: infer_effects(fn, role=role) for role, fn in functions}
+
+
+#: Resource prefixes a data-plane callable may never write: each worker
+#: process would mutate a private copy and runs would diverge.
+_FORBIDDEN_WRITE_PREFIXES = ("global:", "closure:", "arg:", "io")
+
+
+def effect_findings(
+    functions: Iterable[tuple[str, Callable]],
+    *,
+    allowed: frozenset = frozenset(),
+) -> list[Finding]:
+    """Blocking findings for data-plane callables with unsafe effects.
+
+    ``allowed`` names resources exempt for this batch (the runtime's own
+    dispatch paths legitimately write ``telemetry`` and ``memo``).
+    """
+    findings: list[Finding] = []
+    for role, fn in functions:
+        summary = infer_effects(fn, role=role)
+        if summary.trusted is not None:
+            findings.append(
+                Finding(
+                    rule="effects.trusted",
+                    message=f"trusted: {summary.trusted}",
+                    where=summary.name,
+                    severity=INFO,
+                )
+            )
+            continue
+        if summary.unanalyzable:
+            findings.append(
+                Finding(
+                    rule="effects.unanalyzable",
+                    message="source unavailable; effects not inferred",
+                    where=summary.name,
+                    severity=INFO,
+                )
+            )
+        for access in summary.accesses:
+            if access.mode != WRITE or access.resource in allowed:
+                continue
+            if access.resource.startswith(_FORBIDDEN_WRITE_PREFIXES):
+                findings.append(
+                    Finding(
+                        rule="effects.shared-write",
+                        message=(
+                            f"writes shared state {access.resource} "
+                            f"({access.detail}) — unsafe under "
+                            "multi-process execution"
+                        ),
+                        where=summary.name,
+                        line=access.line,
+                        severity=ERROR,
+                    )
+                )
+            elif access.resource == "memo" and "memo" not in allowed:
+                findings.append(
+                    Finding(
+                        rule="effects.memo-access",
+                        message=(
+                            "touches a memo table directly — memo access "
+                            "is the executor's job; a data-plane callable "
+                            "doing its own caching breaks the shared-store "
+                            "admission proof"
+                        ),
+                        where=summary.name,
+                        line=access.line,
+                        severity=ERROR,
+                    )
+                )
+    return findings

@@ -45,6 +45,28 @@ class Finding:
     def render(self) -> str:
         return f"[{self.severity}] {self.rule} at {self.location()}: {self.message}"
 
+    def sort_key(self) -> tuple:
+        """Stable output order: location first, then rule, then message."""
+        return (self.where, self.line if self.line is not None else -1,
+                self.rule, self.message)
+
+
+def finalize(findings: list[Finding]) -> list[Finding]:
+    """Deterministic output: stable-sorted by (file, line, rule, message)
+    and deduplicated.
+
+    Every consumer-facing surface (CLI render, SARIF export, CI logs)
+    goes through here so two runs over the same tree produce byte-equal
+    reports — required for artifact diffing and upload dedupe.
+    """
+    seen: set[Finding] = set()
+    unique: list[Finding] = []
+    for finding in findings:
+        if finding not in seen:
+            seen.add(finding)
+            unique.append(finding)
+    return sorted(unique, key=Finding.sort_key)
+
 
 @dataclass
 class AnalysisReport:
@@ -69,13 +91,23 @@ class AnalysisReport:
         """True when no error-severity finding was recorded."""
         return not self.errors()
 
+    def finalized(self) -> list[Finding]:
+        """The findings in deterministic output order, deduplicated."""
+        return finalize(self.findings)
+
     def render(self, *, verbose: bool = False) -> str:
-        """A human-readable summary; non-errors only shown when verbose."""
-        shown = self.findings if verbose else self.errors()
+        """A human-readable summary; non-errors only shown when verbose.
+
+        Rendering is deterministic: findings are deduplicated and sorted
+        by location/rule, and the summary line counts the deduplicated
+        set, so byte-equal trees render byte-equal reports.
+        """
+        final = self.finalized()
+        errors = [f for f in final if f.severity == ERROR]
+        shown = final if verbose else errors
         lines = [finding.render() for finding in shown]
-        errors = len(self.errors())
         lines.append(
-            f"{len(self.findings)} finding(s), {errors} error(s): "
+            f"{len(final)} finding(s), {len(errors)} error(s): "
             + ("FAIL" if errors else "OK")
         )
         return "\n".join(lines)

@@ -165,6 +165,7 @@ def analyze_callable(
     fn: Callable,
     *,
     role: str = "function",
+    ignore_trust: bool = False,
     _depth: int = 0,
     _seen: set[int] | None = None,
 ) -> list[Finding]:
@@ -172,7 +173,9 @@ def analyze_callable(
 
     ``role`` labels the finding location (``map``, ``reduce``,
     ``combiner.merge``, ...).  Returns the findings; an empty list means
-    the function passed every rule.
+    the function passed every rule.  ``ignore_trust`` analyzes through a
+    ``@trusted`` mark — the stale-trust audit uses it to re-derive what
+    the mark is suppressing.
     """
     seen = _seen if _seen is not None else set()
     fn = _unwrap(fn)
@@ -181,7 +184,7 @@ def analyze_callable(
         where = f"{where} [{role}]"
 
     reason = is_trusted(fn)
-    if reason is not None:
+    if reason is not None and not ignore_trust:
         return [
             Finding(
                 rule="purity.trusted",
@@ -231,6 +234,14 @@ def analyze_callable(
     body = node.body if isinstance(node.body, list) else [node.body]
     for statement in body:
         visitor.visit(statement)
+    # Default-argument expressions are part of the contract too: a lambda
+    # default calling random() poisons every invocation that omits the
+    # argument, exactly like the same call in the body would.
+    args = getattr(node, "args", None)
+    if args is not None:
+        for default in list(args.defaults) + list(args.kw_defaults):
+            if default is not None:
+                visitor.visit(default)
     findings = list(visitor.findings)
 
     if _depth < MAX_HELPER_DEPTH:

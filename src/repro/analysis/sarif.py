@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 export: findings as a code-scanning artifact.
+
+Maps the analysis report onto the minimal SARIF core: one run, one
+driver (``repro-analysis``), one rule entry per distinct finding rule,
+and one result per finding.  A ``physicalLocation`` is attached only
+when the finding's ``where`` is a real file path (many findings point at
+logical locations — a job name, a tree variant, a plan — which SARIF
+carries in ``logicalLocations`` instead).
+
+The export is deterministic (it consumes :func:`~repro.analysis.
+findings.finalize`-ordered findings), so byte-equal trees produce
+byte-equal SARIF — CI uploads dedupe correctly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.findings import Finding, finalize
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _is_file_path(where: str) -> bool:
+    return where.endswith(".py") and " " not in where
+
+
+def _result(finding: Finding) -> dict[str, Any]:
+    location: dict[str, Any] = {}
+    if _is_file_path(finding.where):
+        physical: dict[str, Any] = {
+            "artifactLocation": {"uri": finding.where}
+        }
+        if finding.line is not None:
+            physical["region"] = {"startLine": finding.line}
+        location["physicalLocation"] = physical
+    else:
+        location["logicalLocations"] = [{"fullyQualifiedName": finding.where}]
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [location],
+    }
+
+
+def to_sarif(findings: list[Finding], *, tool_version: str = "0") -> dict:
+    """The findings as one SARIF 2.1.0 log dict."""
+    final = finalize(findings)
+    rules = sorted({f.rule for f in final})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://example.invalid/repro-analysis"
+                        ),
+                        "rules": [{"id": rule} for rule in rules],
+                    }
+                },
+                "results": [_result(f) for f in final],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    findings: list[Finding], path: str | Path, *, tool_version: str = "0"
+) -> None:
+    """Serialize :func:`to_sarif` to ``path`` (stable key order)."""
+    payload = to_sarif(findings, tool_version=tool_version)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,120 @@
+"""The stale-trust audit: are ``@trusted`` marks still earning their keep?
+
+A ``@trusted(reason=...)`` mark suppresses the purity checker for one
+function.  Marks rot: the flagged construct gets refactored away, and the
+mark silently keeps suppressing a checker that would now pass.  This
+audit re-analyzes every trusted function in a corpus *through* the mark
+(:func:`~repro.analysis.purity.analyze_callable` with
+``ignore_trust=True``) and classifies each mark:
+
+``active``
+    the checker still finds violations — the mark is doing real work;
+``stale``
+    the checker is clean — the mark suppresses nothing and should be
+    removed (reported as ``lint.stale-trusted``, warning severity);
+``unanalyzable``
+    the source cannot be walked, so the mark is unverifiable either way.
+
+``--self`` renders the result as an audit table so every shipped trust
+mark is visible in one place, with its reason next to its status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.purity import analyze_callable, is_trusted
+
+
+@dataclass(frozen=True)
+class TrustEntry:
+    """One audited ``@trusted`` mark."""
+
+    where: str
+    role: str
+    reason: str
+    #: "active" | "stale" | "unanalyzable"
+    status: str
+    #: Rules the mark is suppressing (empty when stale/unanalyzable).
+    suppressed: tuple[str, ...] = ()
+
+
+def audit_trusted(
+    functions: Iterable[tuple[str, Callable]],
+) -> tuple[list[TrustEntry], list[Finding]]:
+    """Audit every trusted function among ``(role, callable)`` pairs.
+
+    Returns the audit table plus findings: one ``lint.stale-trusted``
+    warning per mark that no longer suppresses anything.
+    """
+    entries: list[TrustEntry] = []
+    findings: list[Finding] = []
+    seen: set[str] = set()
+    for role, fn in functions:
+        reason = is_trusted(fn)
+        if reason is None:
+            continue
+        where = (
+            f"{getattr(fn, '__module__', '?')}."
+            f"{getattr(fn, '__qualname__', fn)}"
+        )
+        if where in seen:
+            continue
+        seen.add(where)
+        through = analyze_callable(fn, role=role, ignore_trust=True)
+        suppressed = tuple(
+            sorted(
+                {
+                    f.rule
+                    for f in through
+                    if f.severity in (ERROR, WARNING)
+                }
+            )
+        )
+        if any(f.rule == "purity.unanalyzable" for f in through):
+            status = "unanalyzable"
+        elif suppressed:
+            status = "active"
+        else:
+            status = "stale"
+            findings.append(
+                Finding(
+                    rule="lint.stale-trusted",
+                    message=(
+                        f"@trusted(reason={reason!r}) suppresses nothing — "
+                        "the checker passes this function; remove the mark"
+                    ),
+                    where=where,
+                    severity=WARNING,
+                )
+            )
+        entries.append(
+            TrustEntry(
+                where=where,
+                role=role,
+                reason=reason,
+                status=status,
+                suppressed=suppressed,
+            )
+        )
+    entries.sort(key=lambda e: (e.where, e.role))
+    return entries, findings
+
+
+def render_table(entries: list[TrustEntry]) -> str:
+    """The audit table ``--self`` prints (one line per trust mark)."""
+    if not entries:
+        return "trusted marks: none"
+    lines = [f"trusted marks ({len(entries)}):"]
+    for entry in entries:
+        detail = (
+            f" suppressing {', '.join(entry.suppressed)}"
+            if entry.suppressed
+            else ""
+        )
+        lines.append(
+            f"  [{entry.status}] {entry.where}: {entry.reason!r}{detail}"
+        )
+    return "\n".join(lines)

@@ -136,6 +136,53 @@ def critical_path_priority(
     return priority
 
 
+def vector_clocks(
+    assignments: Sequence,
+    parents: dict[str, Sequence[str]],
+) -> tuple[dict[str, dict], list[str]]:
+    """Post-hoc vector clocks over an executed DAG schedule.
+
+    Rebuilds happens-before from the simulated execution: each machine is
+    a lane, each finished task's clock merges its machine's running clock
+    with every parent's clock.  Returns ``(clocks, violations)`` where
+    ``violations`` lists every dependency the schedule broke — a parent
+    unfinished (or not yet run) when its child started.  An empty list
+    certifies the executed schedule respected the dependency order; the
+    dynamic race cross-check uses it to validate that topological release
+    (the executor's concurrency source) never outran happens-before.
+    """
+    finished = sorted(
+        (a for a in assignments if a.finish is not None),
+        key=lambda a: (a.start, a.task.label),
+    )
+    finish_times = {a.task.label: a.finish for a in finished}
+    clocks: dict[str, dict] = {}
+    machine_clock: dict[int, dict] = {}
+    violations: list[str] = []
+    for attempt in finished:
+        label = attempt.task.label
+        clock = dict(machine_clock.get(attempt.machine_id, {}))
+        for parent in parents.get(label, ()):
+            parent_clock = clocks.get(parent)
+            parent_finish = finish_times.get(parent)
+            if parent_clock is None or parent_finish is None:
+                violations.append(
+                    f"task {label!r} ran before parent {parent!r} finished"
+                )
+                continue
+            if parent_finish > attempt.start + 1e-9:
+                violations.append(
+                    f"task {label!r} started at {attempt.start:.3f} before "
+                    f"parent {parent!r} finished at {parent_finish:.3f}"
+                )
+            for lane, count in parent_clock.items():
+                clock[lane] = max(clock.get(lane, 0), count)
+        clock[attempt.machine_id] = clock.get(attempt.machine_id, 0) + 1
+        clocks[label] = clock
+        machine_clock[attempt.machine_id] = clock
+    return clocks, violations
+
+
 def execute_dag(
     tasks: Sequence[SimTask],
     deps: dict[str, Sequence[str]],

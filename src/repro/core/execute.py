@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.common.errors import CompileError
 from repro.core.compile.compiler import CompiledPlan
@@ -81,6 +81,13 @@ class PlanExecutor:
         #: When set (engine configured a poison policy), combiner failures
         #: are retried and then quarantined instead of aborting the run.
         self.poison: PoisonContext | None = None
+        #: Test-only dynamic race probe (duck-typed so core never imports
+        #: the analysis layer).  When set, every executed step fires
+        #: ``probe.on_step(op, reducer=..., memo_uid=..., hit=..., label=...)``
+        #: and run boundaries fire ``probe.on_begin_run(label)`` — the
+        #: vector-clock cross-check in :mod:`repro.analysis.dynamic`
+        #: validates the static race verdicts against what actually ran.
+        self.probe: Any | None = None
         self._map_costs: dict[int, float] = {}
         self._reducer_costs: dict[int, float] = {}
         #: Replay state: a plan-cache hit puts the executor in replay mode
@@ -114,6 +121,8 @@ class PlanExecutor:
             self.plan = Plan(label=label)
             self._replay = None
         self.recorder.begin_run(label)
+        if self.probe is not None:
+            self.probe.on_begin_run(label)
         self._map_costs = {}
         self._reducer_costs = {}
         return self.plan if self.plan is not None else compiled.plan
@@ -204,6 +213,15 @@ class PlanExecutor:
             self._consume(op)
         elif self.plan is not None:
             self.plan.step(op, **kwargs)
+        else:
+            return
+        if self.probe is not None:
+            self.probe.on_step(
+                op,
+                reducer=kwargs.get("reducer"),
+                memo_uid=kwargs.get("memo_uid"),
+                label=kwargs.get("label", ""),
+            )
 
     # -- sub-computation execution ------------------------------------------
 
@@ -237,10 +255,20 @@ class PlanExecutor:
                 reducer=self.recorder.reducer,
                 cost_scale=cost_scale,
             )
+        reuses_before = tree.stats.combiner_reuses
         with self.meter.telemetry.span(node or "combine", SpanKind.TASK):
-            return self._resolve_combine(
+            result = self._resolve_combine(
                 tree, parts, phase, memo_uid, cost_scale, node, use_kernel
             )
+        if self.probe is not None and self.active:
+            self.probe.on_step(
+                "combine",
+                reducer=self.recorder.reducer,
+                memo_uid=memo_uid,
+                hit=tree.stats.combiner_reuses > reuses_before,
+                label=node,
+            )
+        return result
 
     def _resolve_combine(  # analysis: charge-in-caller-span (combine's task span)
         self,
@@ -360,3 +388,7 @@ class PlanExecutor:
             self.meter.charge(Phase.MEMO_READ, cost)
             if self.recorder.active:
                 self.recorder.memo_read(value, cost=cost, label=node)
+        if self.probe is not None and self.active:
+            self.probe.on_step(
+                "visit", reducer=self.recorder.reducer, label=node
+            )

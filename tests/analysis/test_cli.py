@@ -101,10 +101,49 @@ def test_no_arguments_is_a_usage_error():
     assert excinfo.value.code == 2
 
 
+LINT_ONLY = [
+    "--self", "--no-laws", "--no-purity", "--no-effects",
+    "--no-races", "--no-shared",
+]
+
+
 def test_self_lint_only_passes(capsys):
     # the full --self corpus runs in CI; here just the (fast) lint half
-    assert main(["--self", "--no-laws", "--no-purity"]) == 0
-    assert "OK" in capsys.readouterr().out
+    assert main(LINT_ONLY) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "certificate:" not in out  # both passes gated off: no certs
+
+
+def test_self_certification_flags(capsys, tmp_path):
+    cert_dir = tmp_path / "certs"
+    args = [
+        "--self", "--no-laws", "--no-purity", "--no-effects", "--no-lint",
+        "--certificates", str(cert_dir),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert out.count("parallel-safe") == 5
+    assert sorted(p.name for p in cert_dir.glob("*.json")) == [
+        "coalescing.json", "folding.json", "randomized.json",
+        "rotating.json", "strawman.json",
+    ]
+
+
+def test_sarif_flag_writes_log(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "findings.sarif"
+    assert main(LINT_ONLY + ["--sarif", str(path)]) == 0
+    capsys.readouterr()
+    log = json.loads(path.read_text())
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["tool"]["driver"]["name"] == "repro-analysis"
+
+
+def test_trust_audit_table_printed(capsys):
+    assert main(LINT_ONLY) == 0
+    assert "trusted marks" in capsys.readouterr().out
 
 
 def test_module_scan_finds_job_factories(user_module):

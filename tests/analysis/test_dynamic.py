@@ -1,0 +1,262 @@
+"""The dynamic vector-clock cross-check: recorder semantics, the DAG
+schedule validator, and the static-vs-dynamic contract on real engines
+across calm, chaos, and compile-replay runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dynamic import DynamicRaceRecorder, clock_leq
+from repro.analysis.races import analyze_plan
+from repro.cluster.chaos import ChaosSchedule, MachineCrash
+from repro.cluster.dagexec import execute_dag, vector_clocks
+from repro.cluster.machine import Cluster, ClusterConfig
+from repro.cluster.scheduler import HadoopScheduler, SimTask
+from repro.mapreduce.combiners import SumCombiner
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.types import Split
+from repro.slider.system import Slider, SliderConfig
+from repro.slider.window import WindowMode
+
+VARIANTS = [
+    ("folding", "variable"),
+    ("randomized", "variable"),
+    ("strawman", "variable"),
+    ("rotating", "fixed"),
+    ("coalescing", "append"),
+]
+
+MODES = {
+    "variable": WindowMode.VARIABLE,
+    "fixed": WindowMode.FIXED,
+    "append": WindowMode.APPEND,
+}
+
+
+def make_engine(variant, mode, **kwargs):
+    job = MapReduceJob(
+        name="dynamic-check",
+        map_fn=lambda record: [(record, 1)],
+        combiner=SumCombiner(),
+        num_reducers=2,
+    )
+    window_mode = MODES[mode]
+    return Slider(
+        job,
+        mode=window_mode,
+        config=SliderConfig(tree=variant, mode=window_mode),
+        **kwargs,
+    )
+
+
+def drive(engine, recorder, advances=3):
+    """Run initial + advances with the recorder attached; returns the
+    static race findings accumulated over every run's plan."""
+    engine.executor.probe = recorder
+    splits = [
+        Split.from_records(
+            [f"w{(i * 5 + j) % 9}" for j in range(12)], label=f"s{i}"
+        )
+        for i in range(4 + advances)
+    ]
+    removed = 0 if engine.mode is WindowMode.APPEND else 1
+    results = [engine.initial_run(splits[:4])]
+    for i in range(advances):
+        results.append(engine.advance([splits[4 + i]], removed))
+    static = []
+    for result in results:
+        if result.plan is not None:
+            static.extend(analyze_plan(result.plan))
+    return results, static
+
+
+# -- clock semantics ---------------------------------------------------------
+
+
+def test_clock_leq():
+    assert clock_leq({"a": 1}, {"a": 2, "b": 1})
+    assert not clock_leq({"a": 2}, {"a": 1})
+    assert clock_leq({}, {"a": 1})
+
+
+def test_map_steps_record_concurrent_distinct_slots():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("r")
+    recorder.on_step("map", memo_uid=0x1)
+    recorder.on_step("map", memo_uid=0x2)
+    assert recorder.conflicts == []
+    assert recorder.events == 2
+
+
+def test_duplicate_map_slot_is_observed_conflict():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("r")
+    recorder.on_step("map", memo_uid=0x9)
+    recorder.on_step("map", memo_uid=0x9)
+    assert len(recorder.conflicts) == 1
+    assert recorder.conflicts[0].resource == "map_memo:0x9"
+    assert not recorder.conflicts[0].benign
+
+
+def test_run_boundary_is_a_barrier():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("first")
+    recorder.on_step("map", memo_uid=0x9)
+    recorder.on_begin_run("second")
+    recorder.on_step("map", memo_uid=0x9)  # re-mapped next run: ordered
+    assert recorder.conflicts == []
+
+
+def test_same_reducer_combines_are_ordered():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("r")
+    recorder.on_step("combine", reducer=0, memo_uid=0xA, hit=False)
+    recorder.on_step("combine", reducer=0, memo_uid=0xA, hit=False)
+    assert recorder.conflicts == []
+
+
+def test_cross_reducer_memo_miss_is_benign_conflict():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("r")
+    recorder.on_step("combine", reducer=0, memo_uid=0xA, hit=False)
+    recorder.on_step("combine", reducer=1, memo_uid=0xA, hit=False)
+    conflicts = [c for c in recorder.conflicts]
+    assert conflicts and all(c.benign for c in conflicts)
+    assert recorder.unexplained([]) == []  # benign: needs no static cover
+
+
+def test_cross_reducer_memo_hits_do_not_conflict():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("r")
+    recorder.on_step("combine", reducer=0, memo_uid=0xA, hit=True)
+    recorder.on_step("combine", reducer=1, memo_uid=0xA, hit=True)
+    assert recorder.conflicts == []  # both sides only read the slot
+
+
+def test_unexplained_flags_conflicts_missing_from_static():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("r")
+    recorder.on_step("map", memo_uid=0x9)
+    recorder.on_step("map", memo_uid=0x9)
+    assert len(recorder.unexplained([])) == 1
+    static = analyze_plan(_duplicate_map_plan())
+    assert recorder.unexplained(static) == []  # static saw it too
+
+
+def _duplicate_map_plan():
+    from repro.core.plan import Plan
+    from repro.metrics import Phase
+
+    plan = Plan()
+    plan.step("map", label="m", phase=Phase.MAP, memo_uid=0x9)
+    plan.step("map", label="m", phase=Phase.MAP, memo_uid=0x9)
+    return plan
+
+
+def test_to_findings_renders_severities():
+    recorder = DynamicRaceRecorder()
+    recorder.on_begin_run("r")
+    recorder.on_step("map", memo_uid=0x9)
+    recorder.on_step("map", memo_uid=0x9)
+    recorder.on_step("combine", reducer=0, memo_uid=0xA, hit=False)
+    recorder.on_step("combine", reducer=1, memo_uid=0xA, hit=False)
+    rules = {f.rule: f.severity for f in recorder.to_findings()}
+    assert rules["dynamic.race"] == "error"
+    assert rules["dynamic.idempotent-write"] == "info"
+
+
+# -- the static-vs-dynamic contract on real engines --------------------------
+
+
+@pytest.mark.parametrize("variant,mode", VARIANTS)
+def test_static_pass_covers_execution(variant, mode):
+    engine = make_engine(variant, mode)
+    recorder = DynamicRaceRecorder()
+    results, static = drive(engine, recorder, advances=3)
+    assert recorder.events > 0
+    missed = recorder.unexplained(static)
+    assert missed == [], [c.resource for c in missed]
+
+
+def test_static_pass_covers_compile_replay():
+    engine = make_engine("folding", "variable")
+    recorder = DynamicRaceRecorder()
+    results, static = drive(engine, recorder, advances=6)
+    # Steady-state advances replay the compiled template; the probe must
+    # still observe every step (plan_step fires in replay mode too).
+    assert any(r.plan_cache_hit for r in results)
+    assert recorder.unexplained(static) == []
+
+
+def test_static_pass_covers_chaos_runs():
+    chaos = ChaosSchedule(crashes=(MachineCrash(machine_id=1, time=2.0),))
+    engine = make_engine(
+        "folding",
+        "variable",
+        cluster=Cluster(
+            ClusterConfig(
+                num_machines=4, slots_per_machine=2, straggler_fraction=0.0
+            )
+        ),
+        chaos=chaos,
+    )
+    recorder = DynamicRaceRecorder()
+    results, static = drive(engine, recorder, advances=2)
+    assert recorder.unexplained(static) == []
+
+
+# -- DAG schedule vector clocks ----------------------------------------------
+
+
+def quiet_cluster(n=4, slots=2):
+    return Cluster(
+        ClusterConfig(
+            num_machines=n, slots_per_machine=slots, straggler_fraction=0.0
+        )
+    )
+
+
+def test_schedule_clocks_respect_dependencies():
+    tasks = [SimTask(label=f"t{i}", cost=1.0, kind="map") for i in range(4)]
+    deps = {"t2": ["t0", "t1"], "t3": ["t2"]}
+    report = execute_dag(tasks, deps, quiet_cluster(), HadoopScheduler())
+    clocks, violations = vector_clocks(report.assignments, deps)
+    assert violations == []
+    assert set(clocks) == {"t0", "t1", "t2", "t3"}
+    for child, parent_labels in deps.items():
+        for parent in parent_labels:
+            assert clock_leq(clocks[parent], clocks[child])
+            assert clocks[parent] != clocks[child]
+
+
+def test_schedule_clocks_under_chaos():
+    tasks = [SimTask(label=f"t{i}", cost=1.0, kind="map") for i in range(6)]
+    deps = {"t4": ["t0", "t1"], "t5": ["t2", "t3", "t4"]}
+    chaos = ChaosSchedule(crashes=(MachineCrash(machine_id=0, time=1.0),))
+    report = execute_dag(
+        tasks, deps, quiet_cluster(3, 1), HadoopScheduler(), chaos=chaos
+    )
+    clocks, violations = vector_clocks(report.assignments, deps)
+    assert violations == []
+    for child, parent_labels in deps.items():
+        for parent in parent_labels:
+            assert clock_leq(clocks[parent], clocks[child])
+
+
+def test_broken_schedule_is_flagged():
+    from repro.cluster.exec_types import TaskAttempt
+
+    t0 = SimTask(label="t0", cost=5.0, kind="map")
+    t1 = SimTask(label="t1", cost=1.0, kind="map")
+    assignments = [
+        TaskAttempt(
+            task=t0, number=0, machine_id=0, slot_index=0, epoch=0,
+            start=0.0, expected_finish=5.0, finish=5.0,
+        ),
+        TaskAttempt(  # starts before its parent finishes
+            task=t1, number=0, machine_id=1, slot_index=0, epoch=0,
+            start=1.0, expected_finish=2.0, finish=2.0,
+        ),
+    ]
+    clocks, violations = vector_clocks(assignments, {"t1": ["t0"]})
+    assert violations and "before parent" in violations[0]

@@ -1,0 +1,191 @@
+"""Effect inference: read/write sets, propagation, and findings."""
+
+from __future__ import annotations
+
+from repro.analysis.effects import (
+    EffectSummary,
+    effect_findings,
+    infer_effects,
+    summarize_functions,
+)
+from repro.analysis import trusted
+
+_COUNTER = {"n": 0}
+_LIMIT = 10  # immutable global: reads are effect-free
+
+
+def _writes_global(record):
+    _COUNTER["n"] += 1
+    return record
+
+
+def _reads_mutable_global(record):
+    return record if _COUNTER["n"] else None
+
+
+def _reads_immutable_global(record):
+    return record % _LIMIT
+
+
+def _mutates_argument(values):
+    values.append(0)
+    return values
+
+
+def _calls_helper(record):
+    return _writes_global(record)
+
+
+def _pure(record):
+    total = sum(range(record))
+    return total * 2
+
+
+def _global_stmt():
+    global _LIMIT
+    _LIMIT = 11
+
+
+def _touches_memo(memo, key):
+    found = memo.lookup(key)
+    if found is None:
+        memo.store(key, 1)
+    return found
+
+
+def _charges_telemetry(meter, amount):
+    meter.charge("map", amount)
+    return amount
+
+
+def _does_io(record):
+    print(record)
+    return record
+
+
+@trusted(reason="audited for the effects test")
+def _trusted_writer(record):
+    _COUNTER["n"] += 1
+    return record
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings if f.severity == "error")
+
+
+def test_pure_function_is_effect_free():
+    summary = infer_effects(_pure)
+    assert summary.effect_free
+    assert summary.reads == frozenset()
+    assert summary.writes == frozenset()
+
+
+def test_global_write_detected():
+    summary = infer_effects(_writes_global)
+    assert any(r.startswith("global:") and "_COUNTER" in r for r in summary.writes)
+    assert not summary.effect_free
+
+
+def test_global_statement_detected():
+    summary = infer_effects(_global_stmt)
+    assert any("_LIMIT" in r for r in summary.writes)
+
+
+def test_mutable_global_read_detected():
+    summary = infer_effects(_reads_mutable_global)
+    assert any("_COUNTER" in r for r in summary.reads)
+    assert summary.effect_free  # reads alone carry no write
+
+
+def test_immutable_global_read_is_effect_free():
+    summary = infer_effects(_reads_immutable_global)
+    assert summary.reads == frozenset()
+
+
+def test_argument_mutation_detected():
+    summary = infer_effects(_mutates_argument)
+    assert "arg:values" in summary.writes
+
+
+def test_helper_effects_propagate():
+    summary = infer_effects(_calls_helper)
+    assert any("_COUNTER" in r for r in summary.writes)
+
+
+def test_memo_access_detected():
+    summary = infer_effects(_touches_memo)
+    assert "memo" in summary.reads
+    assert "memo" in summary.writes
+
+
+def test_telemetry_write_detected():
+    summary = infer_effects(_charges_telemetry)
+    assert "telemetry" in summary.writes
+
+
+def test_trusted_function_summarizes_effect_free():
+    summary = infer_effects(_trusted_writer)
+    assert summary.trusted == "audited for the effects test"
+    assert summary.effect_free
+
+
+def test_conflicts_between_summaries():
+    writer = infer_effects(_writes_global)
+    reader = infer_effects(_reads_mutable_global)
+    pure = infer_effects(_pure)
+    assert writer.conflicts_with(reader)
+    assert not pure.conflicts_with(reader)
+    assert writer.conflicts_with(writer)  # write/write on the same global
+
+
+def test_findings_flag_shared_writes():
+    findings = effect_findings([("map", _writes_global)])
+    assert rules_of(findings) == ["effects.shared-write"]
+
+
+def test_findings_flag_io():
+    findings = effect_findings([("map", _does_io)])
+    assert "effects.shared-write" in rules_of(findings)
+
+
+def test_findings_flag_memo_access():
+    findings = effect_findings([("map", _touches_memo)])
+    assert "effects.memo-access" in rules_of(findings)
+
+
+def test_findings_allow_exempted_resources():
+    findings = effect_findings(
+        [("kernel", _touches_memo)], allowed=frozenset({"memo"})
+    )
+    assert rules_of(findings) == []
+
+
+def test_findings_clean_on_pure_function():
+    findings = effect_findings([("map", _pure)])
+    assert findings == []
+
+
+def test_trusted_yields_info_note():
+    findings = effect_findings([("map", _trusted_writer)])
+    assert [f.rule for f in findings] == ["effects.trusted"]
+    assert findings[0].severity == "info"
+
+
+def test_summarize_functions_batch():
+    summaries = summarize_functions(
+        [("map", _pure), ("reduce", _writes_global)]
+    )
+    assert summaries["map"].effect_free
+    assert not summaries["reduce"].effect_free
+    assert isinstance(summaries["map"], EffectSummary)
+
+
+def test_shipped_corpus_is_effect_clean():
+    from repro.analysis.targets import registry_targets
+
+    for target in registry_targets():
+        findings = effect_findings(
+            target.functions, allowed=frozenset({"memo", "telemetry"})
+        )
+        errors = [f for f in findings if f.severity == "error"]
+        assert errors == [], f"{target.name}: {[f.render() for f in errors]}"

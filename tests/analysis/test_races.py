@@ -1,0 +1,223 @@
+"""Plan-level race detection: the happens-before model, conflicts, and
+fusion proof obligations — on hand-built violating plans and on the real
+planners' output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.races import (
+    analyze_compiled,
+    analyze_plan,
+    check_fused,
+    find_races,
+    happens_before,
+    plan_footprints,
+    step_footprint,
+)
+from repro.core.compile import compile_plan
+from repro.core.plan import FusedStep, Plan, PlanStep
+from repro.metrics import Phase
+
+
+def error_rules(findings):
+    return sorted(f.rule for f in findings if f.severity == "error")
+
+
+# -- the happens-before model ------------------------------------------------
+
+
+def test_map_steps_are_concurrent():
+    plan = Plan()
+    plan.step("map", label="map:0x1", phase=Phase.MAP, memo_uid=0x1)
+    plan.step("map", label="map:0x2", phase=Phase.MAP, memo_uid=0x2)
+    a, b = plan_footprints(plan)
+    assert not happens_before(a, b) and not happens_before(b, a)
+
+
+def test_map_barrier_orders_map_before_combine():
+    plan = Plan()
+    plan.step("map", label="map:0x1", phase=Phase.MAP, memo_uid=0x1)
+    plan.step("combine", label="c:L0.0", phase=Phase.CONTRACTION, reducer=0)
+    a, b = plan_footprints(plan)
+    assert happens_before(a, b)
+
+
+def test_same_lane_steps_are_ordered():
+    plan = Plan()
+    plan.step("combine", label="c1", phase=Phase.CONTRACTION, reducer=0)
+    plan.step("combine", label="c2", phase=Phase.CONTRACTION, reducer=0)
+    a, b = plan_footprints(plan)
+    assert happens_before(a, b) and not happens_before(b, a)
+
+
+def test_cross_reducer_steps_are_concurrent():
+    plan = Plan()
+    plan.step("combine", label="c1", phase=Phase.CONTRACTION, reducer=0)
+    plan.step("combine", label="c2", phase=Phase.CONTRACTION, reducer=1)
+    a, b = plan_footprints(plan)
+    assert not happens_before(a, b) and not happens_before(b, a)
+
+
+# -- conflicts ---------------------------------------------------------------
+
+
+def test_duplicate_map_memo_uid_is_a_race():
+    plan = Plan()
+    plan.step("map", label="map:0x9", phase=Phase.MAP, memo_uid=0x9)
+    plan.step("map", label="map:0x9", phase=Phase.MAP, memo_uid=0x9)
+    findings = analyze_plan(plan)
+    assert error_rules(findings) == ["races.plan-conflict"]
+
+
+def test_cross_lane_memo_sharing_is_benign_idempotent():
+    plan = Plan()
+    plan.step(
+        "combine", label="c:L0.0", phase=Phase.CONTRACTION,
+        reducer=0, memo_uid=0xAB,
+    )
+    plan.step(
+        "combine", label="c:L0.1", phase=Phase.CONTRACTION,
+        reducer=1, memo_uid=0xAB,
+    )
+    findings = analyze_plan(plan)
+    assert error_rules(findings) == []
+    assert [f.rule for f in findings] == ["races.idempotent-write"]
+
+
+def test_disjoint_reducers_have_no_findings():
+    plan = Plan()
+    plan.step("map", label="map:0x1", phase=Phase.MAP, memo_uid=0x1)
+    plan.step(
+        "combine", label="c:L0.0", phase=Phase.CONTRACTION,
+        reducer=0, memo_uid=0x10,
+    )
+    plan.step(
+        "combine", label="c:L0.1", phase=Phase.CONTRACTION,
+        reducer=1, memo_uid=0x20,
+    )
+    plan.step("reduce", label="reduce:0", phase=Phase.REDUCE, reducer=0)
+    plan.step("reduce", label="reduce:1", phase=Phase.REDUCE, reducer=1)
+    assert analyze_plan(plan) == []
+
+
+def test_engine_lane_serializes_unattributed_steps():
+    plan = Plan()
+    plan.step("combine", label="c1", phase=Phase.CONTRACTION, memo_uid=0x5)
+    plan.step("combine", label="c2", phase=Phase.CONTRACTION, memo_uid=0x5)
+    assert analyze_plan(plan) == []  # same engine lane: ordered
+
+
+def test_footprint_shapes():
+    step = PlanStep(uid=0, op="reduce", label="reduce:3", reducer=3)
+    fp = step_footprint(step)
+    assert "reduce_memo:reducer:3" in fp.writes
+    assert "tree:reducer:3" in fp.reads
+
+
+def test_find_races_returns_pairs():
+    plan = Plan()
+    plan.step("map", label="m", phase=Phase.MAP, memo_uid=0x7)
+    plan.step("map", label="m", phase=Phase.MAP, memo_uid=0x7)
+    races = find_races(plan_footprints(plan))
+    assert len(races) == 1
+    assert races[0].resources == frozenset({"map_memo:0x7"})
+    assert not races[0].benign
+
+
+# -- fusion obligations ------------------------------------------------------
+
+
+def _combine_step(uid, memo_uid, reducer=0):
+    return PlanStep(
+        uid=uid, op="combine", label=f"c:L0.{uid}",
+        phase=Phase.CONTRACTION, memo_uid=memo_uid, reducer=reducer,
+    )
+
+
+def test_fused_memo_overlap_fires():
+    group = FusedStep(
+        kind="combine-run", start=0, count=2, reducer=0,
+        steps=(_combine_step(0, 0xAA), _combine_step(1, 0xAA)),
+    )
+    findings = check_fused([group])
+    assert error_rules(findings) == ["races.fused-memo-overlap"]
+
+
+def test_fused_mixed_lane_fires():
+    group = FusedStep(
+        kind="combine-run", start=0, count=2, reducer=0,
+        steps=(
+            _combine_step(0, 0x1, reducer=0),
+            _combine_step(1, 0x2, reducer=1),
+        ),
+    )
+    findings = check_fused([group])
+    assert error_rules(findings) == ["races.fused-mixed-lane"]
+
+
+def test_fused_hint_on_noncombine_fires():
+    visit = PlanStep(uid=0, op="visit", label="v", phase=Phase.MEMO_READ)
+    group = FusedStep(kind="visit-run", start=0, count=2, steps=(visit,))
+    findings = check_fused([group], kernel_hints=(True,))
+    assert error_rules(findings) == ["races.fused-hint-noncombine"]
+
+
+def test_clean_fused_group_passes():
+    group = FusedStep(
+        kind="combine-run", start=0, count=2, reducer=0,
+        steps=(_combine_step(0, 0x1), _combine_step(1, 0x2)),
+    )
+    assert check_fused([group]) == []
+
+
+# -- real planner output -----------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "variant,mode",
+    [
+        ("folding", "variable"),
+        ("randomized", "variable"),
+        ("strawman", "variable"),
+        ("rotating", "fixed"),
+        ("coalescing", "append"),
+    ],
+)
+def test_real_plans_are_race_free(variant, mode):
+    from repro.mapreduce.combiners import SumCombiner
+    from repro.mapreduce.job import MapReduceJob
+    from repro.mapreduce.types import Split
+    from repro.slider.system import Slider, SliderConfig
+    from repro.slider.window import WindowMode
+
+    job = MapReduceJob(
+        name="race-scan",
+        map_fn=lambda record: [(record, 1)],
+        combiner=SumCombiner(),
+        num_reducers=2,
+    )
+    window_mode = {
+        "variable": WindowMode.VARIABLE,
+        "fixed": WindowMode.FIXED,
+        "append": WindowMode.APPEND,
+    }[mode]
+    engine = Slider(
+        job,
+        mode=window_mode,
+        config=SliderConfig(tree=variant, mode=window_mode),
+    )
+    splits = [
+        Split.from_records([f"w{(i * 3 + j) % 7}" for j in range(8)], label=f"s{i}")
+        for i in range(6)
+    ]
+    results = [engine.initial_run(splits[:4])]
+    removed = 0 if window_mode is WindowMode.APPEND else 1
+    results.append(engine.advance([splits[4]], removed))
+    results.append(engine.advance([splits[5]], removed))
+    for result in results:
+        findings = analyze_plan(result.plan, where=f"{variant}:{result.run_index}")
+        assert error_rules(findings) == [], [f.render() for f in findings]
+        if result.compiled is not None:
+            fused_findings = analyze_compiled(result.compiled)
+            assert error_rules(fused_findings) == []
