@@ -1,0 +1,177 @@
+"""Execution backends: in-process vs multi-process workers sweep.
+
+One fixed steady-slide schedule per app, driven under the in-process
+backend and under the process backend at 1, 2, 4, and 8 workers.  Two
+claims are checked:
+
+* **Equivalence is unconditional.**  Outputs and metered work per
+  advance are bit-identical across every backend configuration — the
+  execution backend is a placement decision, never a semantics change.
+* **Speedup is hardware-conditional.**  Worker processes can only beat
+  the in-process path when the host actually has CPUs to run them on,
+  so the ``speedup > 1`` assertion (workers=4, at least one app) is
+  gated on ``os.cpu_count() >= 2``.  On a single-CPU box the sweep
+  still runs — dispatch, shared-memory traffic, and merge are all
+  exercised and the numbers are recorded with ``host_cpus`` so a reader
+  can tell a slow box from a slow backend.
+
+Wall clock is steady state only (two-period warmup fills the plan cache
+and burns off one-time pool/segment setup; the process backend only
+dispatches when replaying a compiled plan, so warmup also guarantees
+the measured advances actually cross the process seam), with measured
+periods interleaved across configurations and min-over-repeats
+reported.  Results land in ``BENCH_parallel.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import WINDOW_SPLITS
+from repro.bench.format import format_table
+from repro.slider.system import Slider, SliderConfig
+from repro.slider.window import WindowMode
+
+_REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+#: Folding structural period for the 40-split window (next power of two).
+_PERIOD = 64
+_WARMUP_ADVANCES = 2 * _PERIOD
+#: Steady state replays regardless of position in the period, so the
+#: measured stretch need not cover a full period.
+_MEASURED_ADVANCES = 32
+_REPEATS = 2
+
+_WORKERS_SWEEP = (1, 2, 4, 8)
+
+
+def _configs():
+    yield "inprocess", dict(execution_backend="inprocess")
+    for workers in _WORKERS_SWEEP:
+        yield f"process-{workers}", dict(
+            execution_backend="process", workers=workers
+        )
+
+
+class _Drive:
+    """One backend configuration over the fixed schedule."""
+
+    def __init__(self, spec, config_kw):
+        self.spec = spec
+        config = SliderConfig(mode=WindowMode.VARIABLE, **config_kw)
+        self.slider = Slider(spec.make_job(), WindowMode.VARIABLE, config=config)
+        self.slider.initial_run(spec.make_splits(WINDOW_SPLITS, 17, 0))
+        self.offset = WINDOW_SPLITS
+        self.outputs, self.work = [], []
+        self.period_seconds = []
+
+    def advance_many(self, count, record=False):
+        for _ in range(count):
+            result = self.slider.advance(
+                self.spec.make_splits(1, 17, self.offset), 1
+            )
+            self.offset += 1
+            if record:
+                self.outputs.append(result.outputs)
+                self.work.append(result.report.work)
+
+    def measure_period(self):
+        started = time.perf_counter()
+        self.advance_many(_MEASURED_ADVANCES, record=True)
+        self.period_seconds.append(time.perf_counter() - started)
+
+    def counters(self, prefix="backend."):
+        return {
+            name: value
+            for name, value in self.slider.telemetry.counters.items()
+            if name.startswith(prefix)
+        }
+
+    def close(self):
+        self.slider.close()
+
+
+def test_parallel_workers_sweep(apps):
+    host_cpus = os.cpu_count() or 1
+    specs = {spec.name: spec for spec in apps}
+    report = {"host_cpus": host_cpus}
+    rows = []
+    speedups_at_4 = []
+    for app_name in ("hct", "kmeans"):
+        spec = specs[app_name]
+        drives = {name: _Drive(spec, kw) for name, kw in _configs()}
+        try:
+            for drive in drives.values():
+                drive.advance_many(_WARMUP_ADVANCES)
+            # Interleave measured periods so load drift is config-neutral.
+            for _ in range(_REPEATS):
+                for drive in drives.values():
+                    drive.measure_period()
+
+            base = drives["inprocess"]
+            base_seconds = min(base.period_seconds)
+            app_report = {}
+            for name, drive in drives.items():
+                # The backend never changes what a run computes.
+                assert drive.outputs == base.outputs, (app_name, name)
+                assert drive.work == base.work, (app_name, name)
+                counters = drive.counters()
+                if name != "inprocess":
+                    # The measured advances really crossed the seam.
+                    assert counters.get("backend.dispatched_reducers", 0) > 0, (
+                        f"{app_name}/{name}: process backend never dispatched"
+                    )
+                seconds = min(drive.period_seconds)
+                app_report[name] = {
+                    "seconds": seconds,
+                    "period_seconds": drive.period_seconds,
+                    "speedup_over_inprocess": base_seconds / seconds,
+                    "backend_counters": counters,
+                }
+            report[app_name] = app_report
+            speedups_at_4.append(
+                app_report["process-4"]["speedup_over_inprocess"]
+            )
+            rows.append(
+                [app_name, base_seconds * 1e3]
+                + [
+                    app_report[f"process-{w}"]["seconds"] * 1e3
+                    for w in _WORKERS_SWEEP
+                ]
+                + [app_report["process-4"]["speedup_over_inprocess"]]
+            )
+        finally:
+            for drive in drives.values():
+                drive.close()
+
+    if host_cpus >= 2:
+        # On real multi-core hardware at least one app must profit.
+        assert max(speedups_at_4) > 1.0, (
+            f"no app sped up at workers=4 on a {host_cpus}-CPU host: "
+            f"{speedups_at_4}"
+        )
+
+    report["schedule"] = {
+        "window_splits": WINDOW_SPLITS,
+        "warmup_advances": _WARMUP_ADVANCES,
+        "measured_advances": _MEASURED_ADVANCES,
+        "repeats": _REPEATS,
+        "timing": "min over interleaved repeats, steady state only",
+    }
+    _REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+    print()
+    print(
+        format_table(
+            f"Execution backends — workers sweep (host_cpus={host_cpus}, "
+            f"min of {_REPEATS}x{_MEASURED_ADVANCES} advances after "
+            f"{_WARMUP_ADVANCES}-advance warmup)",
+            ["app", "inproc ms"]
+            + [f"w={w} ms" for w in _WORKERS_SWEEP]
+            + ["speedup@4"],
+            rows,
+        )
+    )

@@ -13,13 +13,24 @@ not the work model): one fixed steady-slide schedule driven three times —
 All three modes must produce bit-identical outputs and metered work per
 advance (the compile layer is an execution detail, never a semantics
 change), and the cached modes must exceed the 99 % steady-state hit-rate
-bar.  Results land in ``BENCH_plan_compile.json`` at the repo root,
-cache stats included.
+bar.  Wall clock is **steady state only**: the warmup covers two full
+structural periods (the first fills the plan cache, the second exercises
+replay and the batch kernels so their one-time costs never land in the
+measured loop), the measured periods are **interleaved across modes**
+(cold, warm, fused, cold, …) so slow load drift on a shared box hits
+every mode equally instead of penalising whichever ran last, and the
+reported time is the minimum over a mode's periods — the standard
+de-noising against scheduler and GC spikes.  With
+``REPRO_BENCH_STRICT=1`` (set by the non-blocking CI bench job) the
+test additionally asserts warm and fused steady state are no slower
+than cold, modulo a small noise allowance.  Results land in
+``BENCH_plan_compile.json`` at the repo root, cache stats included.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -31,10 +42,23 @@ from repro.slider.window import WindowMode
 _REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_plan_compile.json"
 
 #: The folding structure key recurs with period = the next power of two
-#: above the window (64 for the default 40-split window), so the warmup
-#: must cover one full period before steady-state replay begins.
-_WARMUP_ADVANCES = 64
-_MEASURED_ADVANCES = 64
+#: above the window (64 for the default 40-split window).  Warm up for
+#: *two* full periods: the first period's advances are all cache misses
+#: (they fill the cache), the second is the first replayed period, so
+#: the one-time replay and kernel-dispatch setup costs burn off before
+#: measurement starts.
+_PERIOD = 64
+_WARMUP_ADVANCES = 2 * _PERIOD
+_MEASURED_ADVANCES = _PERIOD
+#: Measured periods per mode (interleaved); the reported time is the
+#: minimum.
+_REPEATS = 3
+#: Strict-mode noise allowance: cached modes must run within this factor
+#: of cold.  On a single-CPU shared box the three modes sit within a few
+#: percent of each other for light combiners (planning is a small slice
+#: of an advance), so an exact ``<=`` would flake on noise while a real
+#: replay regression — the thing this guard is for — blows well past it.
+_STRICT_TOLERANCE = 1.10
 
 _MODES = {
     "cold": dict(plan_cache=False, plan_fusion=False),
@@ -43,44 +67,54 @@ _MODES = {
 }
 
 
-def _drive(spec, config_kw):
-    """The fixed schedule under one compile posture."""
-    job = spec.make_job()
-    config = SliderConfig(mode=WindowMode.VARIABLE, **config_kw)
-    slider = Slider(job, WindowMode.VARIABLE, config=config)
-    slider.initial_run(spec.make_splits(WINDOW_SPLITS, 17, 0))
-    offset = WINDOW_SPLITS
-    for _ in range(_WARMUP_ADVANCES):
-        slider.advance(spec.make_splits(1, 17, offset), 1)
-        offset += 1
+class _Drive:
+    """One compile posture over the fixed schedule, advanced on demand."""
 
-    before = slider.plan_cache.stats.snapshot()
-    outputs, work, batched = [], [], 0
-    started = time.perf_counter()
-    for _ in range(_MEASURED_ADVANCES):
-        result = slider.advance(spec.make_splits(1, 17, offset), 1)
-        offset += 1
-        outputs.append(result.outputs)
-        work.append(result.report.work)
-        if result.compiled is not None:
-            batched += result.compiled.batched_step_count()
-    elapsed = time.perf_counter() - started
+    def __init__(self, spec, config_kw):
+        self.spec = spec
+        config = SliderConfig(mode=WindowMode.VARIABLE, **config_kw)
+        self.slider = Slider(spec.make_job(), WindowMode.VARIABLE, config=config)
+        self.slider.initial_run(spec.make_splits(WINDOW_SPLITS, 17, 0))
+        self.offset = WINDOW_SPLITS
+        self.outputs, self.work, self.batched = [], [], 0
+        self.period_seconds = []
 
-    after = slider.plan_cache.stats.snapshot()
-    lookups = (after["hits"] + after["misses"]) - (
-        before["hits"] + before["misses"]
-    )
-    measured_hit_rate = (
-        (after["hits"] - before["hits"]) / lookups if lookups else 0.0
-    )
-    return {
-        "seconds": elapsed,
-        "outputs": outputs,
-        "work": work,
-        "measured_hit_rate": measured_hit_rate,
-        "batched_steps": batched,
-        "stats": after,
-    }
+    def warmup(self):
+        for _ in range(_WARMUP_ADVANCES):
+            self.slider.advance(self.spec.make_splits(1, 17, self.offset), 1)
+            self.offset += 1
+        self._before = self.slider.plan_cache.stats.snapshot()
+
+    def measure_period(self):
+        started = time.perf_counter()
+        for _ in range(_MEASURED_ADVANCES):
+            result = self.slider.advance(
+                self.spec.make_splits(1, 17, self.offset), 1
+            )
+            self.offset += 1
+            self.outputs.append(result.outputs)
+            self.work.append(result.report.work)
+            if result.compiled is not None:
+                self.batched += result.compiled.batched_step_count()
+        self.period_seconds.append(time.perf_counter() - started)
+
+    def summary(self):
+        after = self.slider.plan_cache.stats.snapshot()
+        lookups = (after["hits"] + after["misses"]) - (
+            self._before["hits"] + self._before["misses"]
+        )
+        measured_hit_rate = (
+            (after["hits"] - self._before["hits"]) / lookups if lookups else 0.0
+        )
+        return {
+            "seconds": min(self.period_seconds),
+            "period_seconds": self.period_seconds,
+            "outputs": self.outputs,
+            "work": self.work,
+            "measured_hit_rate": measured_hit_rate,
+            "batched_steps": self.batched,
+            "stats": after,
+        }
 
 
 def test_plan_compile_wall_clock(apps):
@@ -90,7 +124,14 @@ def test_plan_compile_wall_clock(apps):
     rows = []
     for app_name in ("hct", "kmeans"):
         spec = specs[app_name]
-        runs = {mode: _drive(spec, kw) for mode, kw in _MODES.items()}
+        drives = {mode: _Drive(spec, kw) for mode, kw in _MODES.items()}
+        for drive in drives.values():
+            drive.warmup()
+        # Interleave the measured periods so load drift is mode-neutral.
+        for _ in range(_REPEATS):
+            for drive in drives.values():
+                drive.measure_period()
+        runs = {mode: drive.summary() for mode, drive in drives.items()}
 
         cold = runs["cold"]
         for mode in ("warm", "fused"):
@@ -101,10 +142,22 @@ def test_plan_compile_wall_clock(apps):
             assert runs[mode]["measured_hit_rate"] >= 0.99, (app_name, mode)
         assert cold["stats"]["hits"] == 0
         assert runs["fused"]["batched_steps"] > 0, "kernels never engaged"
+        if os.environ.get("REPRO_BENCH_STRICT"):
+            # Only the non-blocking bench job enforces the wall-clock
+            # ordering; on a loaded box a blocking job would flake.
+            bound = cold["seconds"] * _STRICT_TOLERANCE
+            for mode in ("warm", "fused"):
+                assert runs[mode]["seconds"] <= bound, (
+                    f"{app_name}: steady-state {mode} "
+                    f"({runs[mode]['seconds']:.3f}s) slower than cold "
+                    f"({cold['seconds']:.3f}s) beyond the "
+                    f"{_STRICT_TOLERANCE:.2f}x noise allowance"
+                )
 
         report[app_name] = {
             mode: {
                 "seconds": run["seconds"],
+                "period_seconds": run["period_seconds"],
                 "measured_hit_rate": run["measured_hit_rate"],
                 "batched_steps": run["batched_steps"],
                 "plan_cache": run["stats"],
@@ -132,6 +185,8 @@ def test_plan_compile_wall_clock(apps):
         "window_splits": WINDOW_SPLITS,
         "warmup_advances": _WARMUP_ADVANCES,
         "measured_advances": _MEASURED_ADVANCES,
+        "repeats": _REPEATS,
+        "timing": "min over repeats, steady state only",
     }
     _REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
 
@@ -139,7 +194,7 @@ def test_plan_compile_wall_clock(apps):
     print(
         format_table(
             "Plan compilation — steady-state wall clock "
-            f"({_MEASURED_ADVANCES} advances after "
+            f"(min of {_REPEATS}×{_MEASURED_ADVANCES} advances after "
             f"{_WARMUP_ADVANCES}-advance warmup)",
             [
                 "app",

@@ -18,6 +18,15 @@ monotonically, so the latest access dominates the earlier ones) and
 records every concurrent conflicting pair as an
 :class:`ObservedConflict`.
 
+The recorder also sees steps that executed in *worker processes*: the
+process execution backend captures each worker's probe events (the
+worker's executor runs a recording shim) and replays them through the
+parent executor's probe during the deterministic reducer-order merge, at
+exactly the position the in-process run would have fired them.  The
+vector clocks therefore describe the logical lane structure of what the
+workers really did — one lane per reducer — not merely a single-process
+simulation of it.
+
 The contract with the static pass is one-sided soundness:
 :meth:`DynamicRaceRecorder.unexplained` returns any observed non-benign
 conflict the static pass did not flag — the test suite fails if that list

@@ -53,6 +53,16 @@ class CacheMissError(ReproError):
     """A memoized object was requested but is not present in any layer."""
 
 
+class MemoStoreFull(ReproError):
+    """A memo store cannot accept another entry.
+
+    Raised by bounded stores (e.g. the shared-memory store's fixed
+    segment) when a put would exceed their capacity.  ``MemoTable.store``
+    treats it exactly like budget exhaustion: the store is skipped and
+    the result recomputed next time — degradation, never failure.
+    """
+
+
 class CompileError(ReproError):
     """A compiled plan disagreed with the run that replayed it.
 

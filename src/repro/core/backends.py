@@ -1,0 +1,316 @@
+"""The execution-backend seam: who runs a run's contraction pass, where.
+
+Everything below the seam is unchanged substrate — planners emit steps,
+the :class:`~repro.core.execute.PlanExecutor` resolves them, the memo
+table absorbs results.  The seam decides *which process* does that for
+each reducer's contraction:
+
+* :class:`InProcessBackend` — the default: every reducer advances in the
+  engine's process, exactly the historical path, bit for bit.
+* :class:`ProcessBackend` — dispatches each reducer's certified,
+  compiled contraction slice to a persistent forked worker
+  (:mod:`repro.core.parallel`) over a shared-memory memo store
+  (:mod:`repro.core.sharedmem`), then merges the results back in
+  reducer order so outputs, work breakdowns, span trees, task graphs,
+  and counters are bit-identical to the in-process run.
+
+Dispatch is gated, not assumed — the parallel-safety analysis (PR 9)
+becomes a *runtime* precondition here.  A run dispatches only when every
+rung of the ladder holds; any miss falls back to in-process for the run
+or the reducer, with a telemetry trace of why:
+
+1. the run replays a compiled plan (fresh plans and chaos runs replan
+   value-dependently and stay local);
+2. the (variant, window-mode) pair holds a green
+   ``parallel-safety-certificate/v1`` (the frozen allowlist below is
+   tied to the live ``repro.analysis.shared`` certification by test);
+3. the job's combiner passed the fusion law gate at compile time;
+4. no poison policy (quarantine bookkeeping is engine-local) and no
+   cluster simulation (its cache layer is a process-local handle);
+5. per reducer: the payload pickles, and its template slice is one
+   contiguous run of the compiled plan.
+
+This module lives in ``repro.core`` and therefore never imports the
+slider layer; the engine reaches it duck-typed, the same contract the
+planner and time simulator already follow.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING, Any
+
+from repro.core.compile.compiler import contraction_slices, slice_template
+from repro.core.memo import DictMemoStore, MemoStore
+from repro.core.parallel import WorkerPool, build_payload
+from repro.core.sharedmem import SharedMemoStore
+from repro.telemetry import SpanKind
+from repro.telemetry.merge import graft_spans, replay_events
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.core.base import ContractionTree
+    from repro.core.partition import Partition
+
+#: Execution backend names SliderConfig accepts.
+EXECUTION_BACKENDS = ("inprocess", "process")
+
+#: (tree variant, window mode) pairs holding a green
+#: ``parallel-safety-certificate/v1``.  Frozen copy of
+#: ``repro.analysis.shared.CERTIFIED_VARIANTS`` — duplicated because the
+#: core layer must not import the analysis layer; a blocking test asserts
+#: the two stay equal AND that certification still passes, so a variant
+#: losing its certificate fails CI before this backend can dispatch it.
+CERTIFIED_PARALLEL_VARIANTS = frozenset(
+    (
+        ("folding", "variable"),
+        ("randomized", "variable"),
+        ("strawman", "variable"),
+        ("rotating", "fixed"),
+        ("coalescing", "append"),
+    )
+)
+
+
+class ExecutionBackend:
+    """Where a run's per-reducer contraction work executes."""
+
+    name = "abstract"
+
+    def tree_store(self, engine: Any, reducer: int) -> MemoStore:
+        """The memo store backing one reducer's tree."""
+        raise NotImplementedError
+
+    def contract(
+        self,
+        engine: Any,
+        per_reducer: "list[list[Partition]]",
+        removed: int,
+    ) -> "list[Partition]":
+        """Advance every tree for one window slide; returns the roots."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool/segment resources (idempotent)."""
+
+
+def _advance_inprocess(
+    engine: Any, per_reducer: "list[list[Partition]]", removed: int
+) -> "list[Partition]":
+    return engine.planner.advance_trees(
+        lambda r, tree: tree.advance(per_reducer[r], removed)
+    )
+
+
+class InProcessBackend(ExecutionBackend):
+    """The historical single-process path — the bit-identical default."""
+
+    name = "inprocess"
+
+    def tree_store(self, engine: Any, reducer: int) -> MemoStore:
+        return DictMemoStore()
+
+    def contract(
+        self,
+        engine: Any,
+        per_reducer: "list[list[Partition]]",
+        removed: int,
+    ) -> "list[Partition]":
+        return _advance_inprocess(engine, per_reducer, removed)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Dispatch certified compiled contraction slices to forked workers."""
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self._store: SharedMemoStore | None = None
+        self._pool: WorkerPool | None = None
+        #: Set on the first worker failure: the pool is not trusted again
+        #: and every later run stays in-process (degradation, not error).
+        self.broken = False
+
+    # -- the store seam -----------------------------------------------------
+
+    def store(self, engine: Any) -> SharedMemoStore:
+        if self._store is None:
+            self._store = SharedMemoStore(namespaces=engine.job.num_reducers)
+        return self._store
+
+    def tree_store(self, engine: Any, reducer: int) -> MemoStore:
+        if engine.cluster is not None:
+            # The cluster simulation's cache layer backs the memo table
+            # with process-local handles; its runs never dispatch, so its
+            # trees keep the plain in-process store.
+            return DictMemoStore()
+        return self.store(engine).namespace(reducer)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _eligible(self, engine: Any) -> bool:
+        compiled = engine.executor.replay_template
+        if compiled is None:
+            return False
+        if self.broken or self.workers < 1:
+            return False
+        if engine.cluster is not None or engine.cache is not None:
+            return False
+        if engine.executor.poison is not None:
+            return False
+        if not compiled.fusion_legal:
+            return False
+        pair = (engine.config.tree_variant(), engine.mode.value)
+        return pair in CERTIFIED_PARALLEL_VARIANTS
+
+    def _ensure_pool(self, engine: Any) -> WorkerPool | None:
+        if self._pool is None and not self.broken:
+            size = min(self.workers, engine.job.num_reducers)
+            try:
+                self._pool = WorkerPool(size, self.store(engine))
+            except Exception:
+                self.broken = True
+                engine.telemetry.instant("backend.pool_failed")
+        return None if self.broken else self._pool
+
+    def contract(
+        self,
+        engine: Any,
+        per_reducer: "list[list[Partition]]",
+        removed: int,
+    ) -> "list[Partition]":
+        if not self._eligible(engine):
+            engine.telemetry.count("backend.inprocess_runs")
+            return _advance_inprocess(engine, per_reducer, removed)
+        compiled = engine.executor.replay_template
+        slices = contraction_slices(compiled, engine.job.num_reducers)
+        graph = engine.executor.recorder.graph
+        blobs: dict[int, bytes] = {}
+        for reducer, tree in enumerate(engine.trees):
+            if reducer not in slices:
+                continue
+            start, end = slices[reducer]
+            externals = []
+            if graph is not None:
+                for leaf in per_reducer[reducer]:
+                    producer = graph.producer_of(leaf)
+                    if producer is not None:
+                        externals.append((leaf.uid, producer))
+            payload = build_payload(
+                tree,
+                reducer,
+                per_reducer[reducer],
+                removed,
+                slice_template(compiled, start, end),
+                externals,
+                label=f"reducer:{reducer}",
+            )
+            try:
+                blobs[reducer] = pickle.dumps(
+                    payload, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                engine.telemetry.count("backend.unpicklable_fallbacks")
+        pool = self._ensure_pool(engine) if blobs else None
+        submitted: dict[int, int] = {}
+        if pool is not None:
+            for reducer, blob in blobs.items():
+                worker = reducer % len(pool)
+                try:
+                    pool.submit(worker, blob)
+                    submitted[reducer] = worker
+                except RuntimeError:
+                    self.broken = True
+                    engine.telemetry.instant(
+                        "backend.worker_failed", worker=worker
+                    )
+                    break
+        if submitted:
+            engine.telemetry.count("backend.dispatch_runs")
+            engine.telemetry.count(
+                "backend.dispatched_reducers", len(submitted)
+            )
+        else:
+            engine.telemetry.count("backend.inprocess_runs")
+        # Merge strictly in reducer order under the same span/scope
+        # structure as the in-process path — this ordering is what makes
+        # the float additions, span positions, and graph uids identical.
+        roots: "list[Partition]" = []
+        for reducer, tree in enumerate(engine.trees):
+            with engine.telemetry.span(
+                f"reducer:{reducer}", SpanKind.TASK, reducer=reducer
+            ):
+                with engine.executor.reducer_scope(reducer):
+                    root = None
+                    if reducer in submitted:
+                        root = self._merge_one(
+                            engine, reducer, tree, slices[reducer], pool,
+                            submitted[reducer],
+                        )
+                    if root is None:
+                        root = tree.advance(per_reducer[reducer], removed)
+                    roots.append(root)
+        return roots
+
+    def _merge_one(
+        self,
+        engine: Any,
+        reducer: int,
+        tree: "ContractionTree",
+        slice_range: tuple[int, int],
+        pool: WorkerPool | None,
+        worker: int,
+    ) -> "Partition | None":
+        """Receive one worker result and fold it in; None → run locally.
+
+        The in-process fallback after a worker failure is safe because
+        the shared store's writes are content-addressed and idempotent:
+        a half-finished worker leaves warm cache, never wrong state.
+        """
+        assert pool is not None
+        try:
+            result = pool.receive(worker)
+        except RuntimeError as exc:
+            self.broken = True
+            engine.telemetry.count("backend.worker_fallbacks")
+            engine.telemetry.instant(
+                "backend.worker_failed", worker=worker, error=str(exc)
+            )
+            return None
+        executor = engine.executor
+        telemetry = engine.telemetry
+        offset = telemetry.now()
+        start, end = slice_range
+        executor.skip_replay(start, end)
+        replay_events(telemetry, result["events"])
+        graft_spans(telemetry, result["spans"], offset)
+        graph = executor.recorder.graph
+        if graph is not None:
+            graph.graft(result["graph"])
+        if executor.probe is not None:
+            for op, kwargs in result["probe_events"]:
+                executor.probe.on_step(op, **kwargs)
+        tree.__dict__.update(result["state"])
+        tree.memo.stats.absorb(result["memo_stats"])
+        tree.memo._tainted = set(result["tainted"])
+        return result["root"]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+
+def make_backend(name: str, workers: int) -> ExecutionBackend:
+    """Construct the backend a config names."""
+    if name == "inprocess":
+        return InProcessBackend()
+    if name == "process":
+        return ProcessBackend(workers)
+    raise ValueError(
+        f"unknown execution backend {name!r}; expected one of "
+        f"{EXECUTION_BACKENDS}"
+    )

@@ -15,7 +15,12 @@ the executor, the planners, or the slider/cluster/recovery layers (the
 """
 
 from repro.core.compile.cache import PlanCache, PlanCacheStats
-from repro.core.compile.compiler import CompiledPlan, compile_plan
+from repro.core.compile.compiler import (
+    CompiledPlan,
+    compile_plan,
+    contraction_slices,
+    slice_template,
+)
 from repro.core.compile.kernels import (
     BatchKernel,
     fused_combine_partitions,
@@ -32,10 +37,12 @@ __all__ = [
     "PlanCache",
     "PlanCacheStats",
     "compile_plan",
+    "contraction_slices",
     "fused_combine_partitions",
     "fusion_legal",
     "kernel_for",
     "register_kernel",
     "registered_kernel_types",
+    "slice_template",
     "unregister_kernel",
 ]

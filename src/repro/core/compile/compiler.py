@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.compile.kernels import fusion_legal
 from repro.core.plan import FusedStep, Plan, PlanStep
+from repro.metrics import Phase
 
 if TYPE_CHECKING:  # pragma: no cover - type-only
     from repro.mapreduce.combiners import Combiner
@@ -152,4 +153,64 @@ def compile_plan(
         kernel_hints=kernel_hints,
         fused=tuple(fused),
         fusion_legal=legal,
+    )
+
+
+#: Step shapes that make up one reducer's contraction pass: combiner
+#: invocations plus the strawman's positional memo visits.
+_CONTRACTION_OPS = ("combine", "visit")
+_CONTRACTION_PHASES = (Phase.CONTRACTION, Phase.MEMO_READ)
+
+
+def contraction_slices(
+    compiled: CompiledPlan, num_reducers: int
+) -> dict[int, tuple[int, int]]:
+    """Per-reducer ``[start, end)`` template ranges of the contraction pass.
+
+    The multi-process backend dispatches each reducer's contraction as
+    one unit: the worker replays exactly ``compiled.ops[start:end]`` and
+    the parent skips the same range.  A reducer appears in the result
+    only when its contraction steps form one *contiguous* run of the
+    template (they always do for the planners that declare structure
+    keys — maps first, then reducer 0..R-1 in order, then reduces — but
+    this is verified, not assumed); a reducer with scattered steps, or
+    none, simply stays on the in-process path.
+    """
+    indices: dict[int, list[int]] = {}
+    for i, step in enumerate(compiled.plan.steps):
+        if (
+            step.op in _CONTRACTION_OPS
+            and step.phase in _CONTRACTION_PHASES
+            and step.reducer is not None
+            and 0 <= step.reducer < num_reducers
+        ):
+            indices.setdefault(step.reducer, []).append(i)
+    slices: dict[int, tuple[int, int]] = {}
+    for reducer, found in indices.items():
+        start, end = found[0], found[-1] + 1
+        if found == list(range(start, end)):
+            slices[reducer] = (start, end)
+    return slices
+
+
+def slice_template(compiled: CompiledPlan, start: int, end: int) -> CompiledPlan:
+    """A standalone mini-template covering ``compiled``'s ``[start, end)``.
+
+    The worker-side executor replays this slice exactly as the parent
+    would have replayed those steps in place: same ops, same kernel
+    hints, cursor starting at zero.  Fused groups are not carried — the
+    per-step hints are what the replay path consumes.
+    """
+    if not 0 <= start <= end <= len(compiled.ops):
+        raise ValueError(
+            f"slice [{start}, {end}) outside the {len(compiled.ops)}-step plan"
+        )
+    plan = Plan(label=f"{compiled.plan.label}[{start}:{end}]")
+    plan.steps.extend(compiled.plan.steps[start:end])
+    return CompiledPlan(
+        plan=plan,
+        ops=compiled.ops[start:end],
+        kernel_hints=compiled.kernel_hints[start:end],
+        fused=(),
+        fusion_legal=compiled.fusion_legal,
     )

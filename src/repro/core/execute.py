@@ -156,6 +156,41 @@ class PlanExecutor:
             reducer_costs=self._reducer_costs,
         )
 
+    @property
+    def replay_template(self) -> CompiledPlan | None:
+        """The compiled template this run is replaying, if any.
+
+        The execution backend seam keys off this: only a replayed run
+        has a step-exact template whose contraction slice can be
+        dispatched to a worker and skipped locally.
+        """
+        return self._replay
+
+    def skip_replay(self, start: int, end: int) -> None:
+        """Jump the replay cursor over ``[start, end)`` executed elsewhere.
+
+        The multi-process backend dispatches a reducer's contraction
+        slice to a worker, which replays exactly those template steps
+        against its own cursor; on merge the parent accounts for them
+        here instead of re-executing.  The cursor must sit at ``start``
+        — anything else means the backend's slicing disagrees with the
+        actual step order, which is a structural bug, not a data error.
+        """
+        compiled = self._replay
+        if compiled is None:
+            raise CompileError("skip_replay outside a replayed run")
+        if not 0 <= start <= end <= len(compiled.ops):
+            raise CompileError(
+                f"skip_replay range [{start}, {end}) outside the "
+                f"{len(compiled.ops)}-step template"
+            )
+        if self._replay_cursor != start:
+            raise CompileError(
+                f"skip_replay expected the cursor at {start}, "
+                f"found it at {self._replay_cursor}"
+            )
+        self._replay_cursor = end
+
     def _consume(self, op: str) -> bool:
         """Advance the replay cursor past one executed step.
 

@@ -9,12 +9,22 @@ distributed in-memory cache and its fault-tolerant replicas (§6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass, field, fields
+from typing import Callable, Iterable, Iterator, Mapping, Protocol, runtime_checkable
 
+from repro.common.errors import MemoStoreFull
 from repro.core.partition import Partition
 from repro.metrics import Phase, WorkMeter
 from repro.telemetry import Telemetry
+
+__all__ = [
+    "DictMemoStore",
+    "MemoBacking",
+    "MemoStats",
+    "MemoStore",
+    "MemoStoreFull",
+    "MemoTable",
+]
 
 
 @dataclass
@@ -33,6 +43,82 @@ class MemoStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def absorb(self, other: "MemoStats") -> "MemoStats":
+        """Add another stats record into this one (cross-process merge).
+
+        Every field is an integer count, so the merge is exact,
+        associative, and order-independent — worker deltas can fold into
+        the parent's table in any grouping and land on the same totals.
+        """
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        return self
+
+    @classmethod
+    def merge(cls, parts: Iterable["MemoStats"]) -> "MemoStats":
+        """A fresh record holding the sum of ``parts``."""
+        merged = cls()
+        for part in parts:
+            merged.absorb(part)
+        return merged
+
+
+@runtime_checkable
+class MemoStore(Protocol):
+    """The storage seam under a :class:`MemoTable`.
+
+    A store is a mutable uid -> :class:`Partition` mapping plus an O(1)
+    :meth:`space` summary.  Two implementations ship: the in-process
+    :class:`DictMemoStore` (the default, bit-identical to the historical
+    plain dict) and the cross-process
+    :class:`~repro.core.sharedmem.SharedMemoStore` namespace view used by
+    the multi-process execution backend.  A bounded store signals
+    exhaustion by raising
+    :class:`~repro.common.errors.MemoStoreFull` from ``__setitem__`` —
+    the table degrades to recomputation instead of failing.
+    """
+
+    def __getitem__(self, uid: int) -> Partition: ...
+
+    def __setitem__(self, uid: int, value: Partition) -> None: ...
+
+    def __delitem__(self, uid: int) -> None: ...
+
+    def __iter__(self) -> Iterator[int]: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, uid: object) -> bool: ...
+
+    def get(self, uid: int, default: "Partition | None" = None) -> "Partition | None": ...
+
+    def pop(self, uid: int, default: "Partition | None" = None) -> "Partition | None": ...
+
+    def items(self) -> Iterable[tuple[int, Partition]]: ...
+
+    def values(self) -> Iterable[Partition]: ...
+
+    def clear(self) -> None: ...
+
+    def space(self) -> float: ...
+
+
+class DictMemoStore(dict):
+    """The default in-process store: a plain dict plus the store protocol.
+
+    Subclassing ``dict`` keeps every historical access pattern (iteration
+    order, ``clear``, direct item assignment by the repair layer) exactly
+    as fast and exactly as ordered as the seed's bare dict.
+    """
+
+    def space(self) -> float:
+        """Total abstract size (keys retained) of the stored results."""
+        return float(sum(len(p) for p in self.values()))
+
 
 @dataclass
 class MemoTable:
@@ -43,7 +129,7 @@ class MemoTable:
     in-memory distributed cache and the persistent replicated layer.
     """
 
-    entries: dict[int, Partition] = field(default_factory=dict)
+    entries: MemoStore = field(default_factory=DictMemoStore)
     stats: MemoStats = field(default_factory=MemoStats)
     backing: "MemoBacking | None" = None
     #: Telemetry backbone to mirror hit/miss/eviction counters into.
@@ -97,7 +183,20 @@ class MemoTable:
                         "memo.budget_exhausted", capacity=self.capacity
                     )
             return
-        self.entries[uid] = value
+        try:
+            self.entries[uid] = value
+        except MemoStoreFull:
+            # A bounded store (e.g. the shared-memory segment) is full:
+            # same degradation ladder as budget exhaustion — recompute
+            # next time instead of failing the run.
+            self.stats.skipped_stores += 1
+            if self.telemetry is not None:
+                self.telemetry.count("memo.skipped_stores")
+                if self.stats.skipped_stores == 1:
+                    self.telemetry.instant(
+                        "memo.store_full", capacity=self.capacity
+                    )
+            return
         if self.backing is not None and not self.degraded:
             try:
                 self.backing.put(uid, value)
@@ -147,6 +246,22 @@ class MemoTable:
             self.telemetry.count("memo.degraded")
             self.telemetry.instant("memo.backing_degraded", error=repr(exc))
 
+    def reset_degraded(self) -> bool:
+        """Re-arm a degraded table at the start of a fresh run.
+
+        A backing-store failure flips :attr:`degraded` and the table runs
+        local-only for the rest of the run; a new run should try the
+        backing again (it may have been repaired or re-replicated in the
+        meantime).  Returns True when a degraded table was reset.
+        """
+        if not self.degraded:
+            return False
+        self.degraded = False
+        if self.telemetry is not None:
+            self.telemetry.count("memo.degraded_resets")
+            self.telemetry.instant("memo.degraded_reset")
+        return True
+
     def _backing_fetch(self, uid: int) -> Partition | None:
         if self.backing is None or self.degraded:
             return None
@@ -193,7 +308,25 @@ class MemoTable:
 
     def space(self) -> float:
         """Total abstract size of retained results (for space overheads)."""
+        store_space = getattr(self.entries, "space", None)
+        if store_space is not None:
+            return float(store_space())
+        # A bare dict passed by legacy callers/tests: summarize directly.
         return float(sum(len(p) for p in self.entries.values()))
+
+    def replace_entries(self, mapping: Mapping[int, Partition]) -> None:
+        """Reattach a drained entry snapshot onto this table's store.
+
+        The recovery layer checkpoints entries as a plain dict (drained
+        from whatever store backed the table when the checkpoint was
+        written) and restores them through here, so a checkpoint taken
+        under one execution backend reattaches cleanly under another.
+        Bypasses capacity/stat accounting: this is state transfer, not
+        computation.
+        """
+        self.entries.clear()
+        for uid, value in mapping.items():
+            self.entries[uid] = value
 
     def retain_only(self, live_uids: set[int]) -> int:
         """Garbage-collect entries outside ``live_uids``; returns count."""

@@ -24,7 +24,7 @@ rather than the per-reducer work sum.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.partition import Partition
 from repro.metrics import Phase
@@ -71,9 +71,20 @@ class TaskGraph:
     label: str = ""
     nodes: list[TaskNode] = field(default_factory=list)
     #: Partition content id -> uid of the node that produced it this run.
+    #: Negative values are *external references* (see :meth:`graft`).
     _producers: dict[int, int] = field(default_factory=dict)
+    #: Permit negative deps — references to nodes of an enclosing parent
+    #: graph, encoded ``-(parent_uid + 1)``.  Set on the worker-side
+    #: fragment graphs the multi-process backend grafts back with
+    #: :meth:`graft`; never on a run's own graph.
+    allow_external: bool = False
 
     # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def external_ref(parent_uid: int) -> int:
+        """Encode a parent-graph node uid as a negative external dep."""
+        return -(parent_uid + 1)
 
     def add(
         self,
@@ -91,8 +102,11 @@ class TaskGraph:
         if kind not in NODE_KINDS:
             raise ValueError(f"unknown node kind {kind!r}")
         for dep in deps:
-            if not 0 <= dep < len(self.nodes):
-                raise ValueError(f"dependency {dep} does not exist yet")
+            if 0 <= dep < len(self.nodes):
+                continue
+            if dep < 0 and self.allow_external:
+                continue
+            raise ValueError(f"dependency {dep} does not exist yet")
         node = TaskNode(
             uid=len(self.nodes),
             kind=kind,
@@ -136,6 +150,55 @@ class TaskGraph:
             if uid is not None:
                 found.append(uid)
         return tuple(found)
+
+    def seed_external_producer(self, content_uid: int, parent_uid: int) -> None:
+        """Pre-register a partition produced by an *enclosing* graph's node.
+
+        The multi-process backend seeds each worker's fragment graph with
+        the parent-run producers (map/shuffle tails) its reducer consumes,
+        so combine nodes built in the worker carry the same dependency
+        edges an in-process run would have wired.  The reference is
+        stored negative-encoded and translated back at :meth:`graft`.
+        """
+        if not self.allow_external:
+            raise ValueError("external producers need allow_external=True")
+        self._producers[content_uid] = self.external_ref(parent_uid)
+
+    def graft(self, other: "TaskGraph") -> int:
+        """Append another graph's nodes to this one; returns the uid offset.
+
+        ``other`` is a worker-side fragment built with
+        ``allow_external=True``: its internal uids are shifted by this
+        graph's current length and its negative external deps translate
+        back to parent uids — which always point backwards, because the
+        referenced parent nodes existed before the fragment was
+        dispatched.  Dep tuples are re-sorted after translation, so a
+        grafted node is indistinguishable from one recorded in-process
+        at the same position.  Producer registrations carry over (with
+        the same shift) so later parent-side nodes (per-key reduces) can
+        depend on worker-produced partitions.
+        """
+        offset = len(self.nodes)
+        for node in other.nodes:
+            deps = []
+            for dep in node.deps:
+                if dep < 0:
+                    parent_uid = -dep - 1
+                    if not 0 <= parent_uid < offset:
+                        raise ValueError(
+                            f"external dep {dep} of node {node.uid} does not "
+                            f"name a node of the receiving graph"
+                        )
+                    deps.append(parent_uid)
+                else:
+                    deps.append(dep + offset)
+            self.nodes.append(
+                replace(node, uid=node.uid + offset, deps=tuple(sorted(deps)))
+            )
+        for content_uid, uid in other._producers.items():
+            if uid >= 0:
+                self._producers[content_uid] = uid + offset
+        return offset
 
     # -- derived views -------------------------------------------------------
 

@@ -2,13 +2,27 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
 
+from dataclasses import dataclass, field
+
+from repro.core.backends import EXECUTION_BACKENDS
 from repro.core.poison import PoisonPolicy
 from repro.slider.window import WindowMode
 
 #: Tree-variant names accepted by SliderConfig.tree.
 TREE_VARIANTS = ("auto", "folding", "randomized", "rotating", "coalescing", "strawman")
+
+
+def _default_backend() -> str:
+    """Environment-selectable default so an unmodified test suite can run
+    under another backend (the CI process-matrix job sets
+    ``REPRO_EXECUTION_BACKEND=process``)."""
+    return os.environ.get("REPRO_EXECUTION_BACKEND", "inprocess")
+
+
+def _default_workers() -> int:
+    return int(os.environ.get("REPRO_WORKERS", "2"))
 
 #: Time-simulation models accepted by SliderConfig.time_model: "waves"
 #: evaluates the legacy coarse two-wave cost model over the executed plan
@@ -58,6 +72,15 @@ class SliderConfig:
     #: Memo fingerprint verification on read: "off", "tainted" (only
     #: entries marked suspect, each verified once), or "paranoid".
     memo_verify: str = "tainted"
+    #: Where certified contraction work executes: "inprocess" (default,
+    #: bit-identical single-process path) or "process" (persistent forked
+    #: worker pool over a shared-memory memo store; ineligible runs fall
+    #: back per the backend's dispatch ladder).  Defaults honor the
+    #: ``REPRO_EXECUTION_BACKEND`` / ``REPRO_WORKERS`` environment.
+    execution_backend: str = field(default_factory=_default_backend)
+    #: Worker processes the process backend may fork (capped at the
+    #: job's reducer count); ignored by the in-process backend.
+    workers: int = field(default_factory=_default_workers)
 
     def __post_init__(self) -> None:
         if self.time_model not in TIME_MODELS:
@@ -76,6 +99,13 @@ class SliderConfig:
                 f"plan_cache_capacity must be positive, got "
                 f"{self.plan_cache_capacity}"
             )
+        if self.execution_backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {self.execution_backend!r} "
+                f"(choose from {EXECUTION_BACKENDS})"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be positive, got {self.workers}")
 
     def tree_variant(self) -> str:
         if self.tree != "auto":

@@ -37,6 +37,19 @@ class LifecycleManager:
                     engine.cluster.revive(machine_id)
         engine.chaos_downed = []
 
+    def reset_degradation(self) -> int:
+        """Re-arm degraded memo tables at the start of a fresh run.
+
+        A backing-store failure flips a table into local-only mode for
+        the rest of its run; a new run should try the backing again (it
+        may have been repaired or re-replicated in between).  Returns
+        the number of tables that were actually reset; each reset emits
+        a ``memo.degraded_reset`` telemetry instant.
+        """
+        return sum(
+            1 for tree in self.engine.trees if tree.memo.reset_degraded()
+        )
+
     def on_chaos_crash(self, machine_id: int, when: float) -> None:
         """The machine physically died: its RAM (cache shard) is gone and
         the trees' process-local memo views can no longer be trusted."""

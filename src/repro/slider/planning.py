@@ -145,11 +145,15 @@ class RunPlanner:
     # -- tree assembly -------------------------------------------------------
 
     def make_trees(self) -> list[ContractionTree]:
-        return [self.make_tree() for _ in range(self.engine.job.num_reducers)]
+        return [
+            self.make_tree(reducer)
+            for reducer in range(self.engine.job.num_reducers)
+        ]
 
-    def make_tree(self) -> ContractionTree:
+    def make_tree(self, reducer: int = 0) -> ContractionTree:
         engine = self.engine
         memo = MemoTable(
+            entries=engine.backend.tree_store(engine, reducer),
             backing=engine.cache,
             telemetry=engine.telemetry,
             verify_mode=engine.config.memo_verify,

@@ -32,6 +32,7 @@ from repro.cluster.executor import ExecutorConfig
 from repro.cluster.machine import Cluster
 from repro.cluster.scheduler import HybridScheduler, Scheduler
 from repro.common.errors import WindowError
+from repro.core.backends import ExecutionBackend, make_backend
 from repro.core.base import ContractionTree
 from repro.core.compile import CompiledPlan, PlanCache
 from repro.core.execute import PlanExecutor, RunExecution
@@ -161,6 +162,12 @@ class Slider:
         #: Compiled plans keyed by window-motion signature; steady-state
         #: advances replay out of here instead of replanning.
         self.plan_cache = PlanCache(capacity=self.config.plan_cache_capacity)
+        #: The execution-backend seam: decides per run whether certified
+        #: contraction slices dispatch to worker processes or run here.
+        #: Constructed before the trees — it supplies their memo stores.
+        self.backend: ExecutionBackend = make_backend(
+            self.config.execution_backend, self.config.workers
+        )
         self.planner = RunPlanner(self)
         self.timing = TimeSimulator(self)
         self.lifecycle = LifecycleManager(self)
@@ -179,6 +186,7 @@ class Slider:
             raise WindowError("initial_run may only be called once")
         self._ran_initial = True
         self.lifecycle.heal_chaos()
+        self.lifecycle.reset_degradation()
         phase_before = dict(self.telemetry.by_phase)
         with self.telemetry.span(
             "initial", SpanKind.WINDOW_UPDATE, run_index=self.run_index
@@ -209,6 +217,7 @@ class Slider:
         WindowDelta(len(added), removed).validate(self.mode, len(self.window))
 
         self.lifecycle.heal_chaos()
+        self.lifecycle.reset_degradation()
         phase_before = dict(self.telemetry.by_phase)
         with self.telemetry.span(
             f"incremental-{self.run_index}",
@@ -232,9 +241,7 @@ class Slider:
 
             per_reducer = self.planner.reducer_leaves(added)
             with self.telemetry.span("contraction", SpanKind.PHASE):
-                roots = self.planner.advance_trees(
-                    lambda r, tree: tree.advance(per_reducer[r], removed)
-                )
+                roots = self.backend.contract(self, per_reducer, removed)
             with self.telemetry.span("reduce", SpanKind.PHASE):
                 outputs = self._reduce(roots)
             result = self._finish_run(
@@ -355,6 +362,12 @@ class Slider:
     def collect_garbage(self) -> int:
         """Drop memoized state that the current window can no longer use."""
         return self.lifecycle.collect_garbage()
+
+    def close(self) -> None:
+        """Release execution-backend resources (worker pool, shared
+        segment).  Idempotent; only needed for long test sessions — the
+        backend also cleans up on garbage collection and process exit."""
+        self.backend.close()
 
     def space(self) -> float:
         """Memoized state retained across runs (Figure 13's space metric)."""

@@ -17,6 +17,12 @@ from repro.telemetry.spans import (
     Telemetry,
     TelemetrySnapshot,
 )
+from repro.telemetry.merge import (
+    CaptureTelemetry,
+    graft_spans,
+    merge_counters,
+    replay_events,
+)
 from repro.telemetry.export import (
     TraceValidationError,
     to_chrome_trace,
@@ -32,6 +38,10 @@ from repro.telemetry.worktable import (
 )
 
 __all__ = [
+    "CaptureTelemetry",
+    "graft_spans",
+    "merge_counters",
+    "replay_events",
     "NullTelemetry",
     "Phase",
     "Span",

@@ -224,6 +224,25 @@ class Telemetry:
         current.self_work[phase] = current.self_work.get(phase, 0.0) + amount
         self._work_cursor += amount
 
+    def absorb_charge(self, phase: Phase, amount: float) -> None:
+        """Fold a charge replayed from another telemetry tree into this one.
+
+        Like :meth:`charge` it adds to every open span's inclusive
+        ``work`` (root first, preserving the bit-identity contract:
+        replaying a worker's charges in their original order reproduces
+        the exact float-addition sequence of an in-process run) and
+        advances the work cursor — but it does **not** touch the current
+        span's ``self_work``.  The grafted worker spans already carry
+        that self-work, so absorbing it again would break the invariant
+        that a span's inclusive work equals the sum of self-work over
+        its subtree.
+        """
+        if amount < 0:
+            raise ValueError(f"work must be non-negative, got {amount}")
+        for span in self._stack:
+            span.work[phase] = span.work.get(phase, 0.0) + amount
+        self._work_cursor += amount
+
     @property
     def by_phase(self) -> dict[Phase, float]:
         """Inclusive per-phase totals — the seed ``WorkMeter.by_phase``."""

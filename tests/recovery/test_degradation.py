@@ -130,6 +130,43 @@ def test_backing_failure_degrades_to_local_only():
     assert follow.outputs == follow_expected.outputs
 
 
+def test_degraded_tables_rearm_at_next_run_start():
+    """A backing failure degrades a table for *its* run only: the next
+    run's start re-arms it (the backing may have been repaired in
+    between), counts ``memo.degraded_resets``, and emits a
+    ``memo.degraded_reset`` telemetry instant."""
+    cluster = Cluster(ClusterConfig(num_machines=4, straggler_fraction=0.0))
+    slider = Slider(
+        _scenario_job(), config=SliderConfig(tree="randomized"), cluster=cluster
+    )
+    healthy = Slider(_scenario_job(), config=SliderConfig(tree="randomized"))
+
+    original_put = slider.cache.put
+
+    def fail(*args, **kwargs):
+        raise OSError("cache backend unavailable")
+
+    slider.cache.put = fail  # transient outage, this run only
+    result = slider.initial_run([_scenario_split(i) for i in range(4)])
+    expected = healthy.initial_run([_scenario_split(i) for i in range(4)])
+    assert result.outputs == expected.outputs
+    degraded = sum(1 for t in slider.trees if t.memo.degraded)
+    assert degraded > 0
+
+    slider.cache.put = original_put  # the backing "was repaired"
+    follow = slider.advance([_scenario_split(9)], 1)
+    follow_expected = healthy.advance([_scenario_split(9)], 1)
+    assert follow.outputs == follow_expected.outputs
+    # The run start re-armed every degraded table...
+    assert slider.telemetry.counters["memo.degraded_resets"] == degraded
+    assert any(
+        event["name"] == "memo.degraded_reset"
+        for event in slider.telemetry.instants
+    )
+    # ...and with the backing healthy again, nothing re-degraded.
+    assert not any(t.memo.degraded for t in slider.trees)
+
+
 def test_on_machine_failure_requires_a_cluster():
     slider = Slider(_scenario_job())
     slider.initial_run([_scenario_split(0)])

@@ -270,4 +270,6 @@ def test_cached_and_fresh_plans_structurally_identical(motions, spread):
         )
         if a.plan_cache_hit:
             assert a.compiled.plan is a.plan
-    assert cached.verify_outputs() and plain.verify_outputs()
+    # verify_outputs raises on divergence and returns the number of keys
+    # checked — which is legitimately 0 when the motion emptied the window.
+    assert cached.verify_outputs() == plain.verify_outputs()
